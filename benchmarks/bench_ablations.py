@@ -1,0 +1,116 @@
+"""Ablation benches beyond the paper's figures.
+
+These sweep the design choices DESIGN.md calls out:
+
+* last-arriving predictor size (does Figure 7's flatness carry to IPC?);
+* load speculative-window length (replay shadow cost);
+* recovery policy (non-selective vs. selective) under sequential wakeup,
+  exercising the Section 3.1 argument that sequential wakeup composes with
+  selective recovery while tag elimination cannot.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+from repro.pipeline.config import FOUR_WIDE, RecoveryModel, SchedulerModel
+
+_BENCHES = ("bzip", "mcf", "gcc")
+
+
+def _normalized(runner, benchmark_name, config):
+    # Seed-averaged ratio: single runs carry percent-level scheduling noise.
+    return runner.normalized_ipc(benchmark_name, config)
+
+
+def test_ablation_predictor_size(benchmark, runner, publish):
+    """Sequential wakeup IPC vs. predictor table size (128 .. 4096)."""
+    sizes = (128, 512, 1024, 4096)
+
+    def sweep():
+        result = ExperimentResult(
+            "Ablation A",
+            "Seq wakeup normalized IPC vs. predictor entries (4-wide)",
+            ["benchmark"] + [f"{s}e" for s in sizes] + ["nopred"],
+        )
+        for name in _BENCHES:
+            row = [name]
+            for size in sizes:
+                config = FOUR_WIDE.with_techniques(
+                    scheduler=SchedulerModel.SEQ_WAKEUP, predictor_entries=size
+                )
+                row.append(_normalized(runner, name, config))
+            nopred = FOUR_WIDE.with_techniques(
+                scheduler=SchedulerModel.SEQ_WAKEUP, predictor_entries=None
+            )
+            row.append(_normalized(runner, name, nopred))
+            result.rows.append(row)
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(result)
+    for row in result.rows:
+        # The paper's claim: performance is insensitive to predictor
+        # accuracy because the misprediction penalty is one cycle.
+        assert max(row[1:]) - min(row[1:]) < 0.06, row
+
+
+def test_ablation_spec_window(benchmark, runner, publish):
+    """Base-machine IPC vs. load speculative-window length."""
+
+    def sweep():
+        result = ExperimentResult(
+            "Ablation B",
+            "Normalized IPC vs. load spec window (replay shadow)",
+            ["benchmark", "window=1", "window=2", "window=3"],
+        )
+        for name in _BENCHES:
+            row = [name]
+            for window in (1, 2, 3):
+                config = dataclasses.replace(
+                    FOUR_WIDE, load_spec_window=window,
+                    name=f"4-wide+win{window}",
+                )
+                row.append(_normalized(runner, name, config))
+            result.rows.append(row)
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(result)
+    for row in result.rows:
+        # A longer replay shadow can only squash more: IPC must not rise
+        # much as the window grows.
+        assert row[1] >= row[3] - 0.05, row
+
+
+def test_ablation_recovery_policy(benchmark, runner, publish):
+    """Sequential wakeup under non-selective vs. selective recovery.
+
+    Section 3.1: sequential wakeup is fully compatible with selective
+    recovery (both operands observe dependence broadcasts), so it should
+    benefit from the cheaper replays, especially on miss-heavy mcf.
+    """
+
+    def sweep():
+        result = ExperimentResult(
+            "Ablation C",
+            "Seq wakeup IPC: non-selective vs. selective recovery (4-wide)",
+            ["benchmark", "non-selective", "selective"],
+        )
+        for name in _BENCHES:
+            row = [name]
+            for recovery in (RecoveryModel.NON_SELECTIVE, RecoveryModel.SELECTIVE):
+                config = FOUR_WIDE.with_techniques(
+                    scheduler=SchedulerModel.SEQ_WAKEUP, recovery=recovery
+                )
+                row.append(_normalized(runner, name, config))
+            result.rows.append(row)
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(result)
+    for row in result.rows:
+        # Replay-chaos noise survives even seed averaging on mcf-class
+        # workloads; the claim is "selective is not systematically worse".
+        assert row[2] >= row[1] - 0.05, f"{row[0]}: selective recovery regressed"

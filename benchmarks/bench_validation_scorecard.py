@@ -1,0 +1,24 @@
+"""Shape-preservation scorecard over every regenerated experiment.
+
+The checks need statistical power: at reduced run lengths (REPRO_INSTS
+below 8000, or a single seed) the scorecard still prints but does not
+fail the build on noisy verdicts.
+"""
+
+import pytest
+
+from repro.analysis.validation import scorecard
+
+
+def test_validation_scorecard(benchmark, runner, publish):
+    result = benchmark.pedantic(lambda: scorecard(runner), rounds=1, iterations=1)
+    publish(result)
+    failures = [row for row in result.rows if row[1] != "PASS"]
+    if runner.insts < 8_000 or len(runner.seeds) < 2 or len(runner.benchmarks) < 6:
+        if failures:
+            pytest.skip(
+                "reduced-size run: scorecard verdicts lack statistical "
+                f"power (failing: {[row[0] for row in failures]})"
+            )
+        return
+    assert not failures, f"shape checks failed: {[row[0] for row in failures]}"

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  Simulation
+results are memoized in a session-wide runner so e.g. the base-machine runs
+feeding Figures 4/6/10/14/15/16 happen exactly once.  Rendered tables are
+printed (visible with ``pytest -s``) and appended to
+``results/experiments.txt``.
+
+Environment knobs (see repro.analysis.runner): REPRO_INSTS, REPRO_WARMUP,
+REPRO_SEED, REPRO_BENCHMARKS.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import ExperimentResult, render
+from repro.analysis.runner import default_runner
+
+_RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return default_runner()
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    path = _RESULTS_DIR / "experiments.txt"
+    handle = path.open("a")
+    yield handle
+    handle.close()
+
+
+@pytest.fixture
+def publish(report_sink):
+    """Print a rendered experiment and persist it under results/."""
+
+    def _publish(result: ExperimentResult) -> ExperimentResult:
+        text = render(result)
+        print()
+        print(text)
+        report_sink.write(text + "\n\n")
+        report_sink.flush()
+        return result
+
+    return _publish

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Demonstrate the Figure 5 argument: why tag elimination cannot use
+selective recovery, while sequential wakeup can.
+
+Usage::
+
+    python examples/dependence_matrix_demo.py
+
+Runs the dependence-matrix machinery (ancestor matrices carried on the
+wakeup bus, kill-bus matching) alongside the simulator's reference
+scoreboard cascade and reports the number of *mismatches* — operands the
+cascade had to invalidate although their matrix never saw the dependence
+broadcast.  Sequential wakeup delivers every broadcast (late, but
+delivered), so its matrices agree everywhere; tag elimination's removed
+comparator leaves its matrices blind.
+"""
+
+import dataclasses
+
+from repro.pipeline import FOUR_WIDE, RecoveryModel, SchedulerModel
+from repro.pipeline.processor import Processor
+from repro.workloads import SyntheticWorkload, get_profile
+
+
+def run(label: str, scheduler: SchedulerModel) -> None:
+    config = dataclasses.replace(
+        FOUR_WIDE.with_techniques(scheduler=scheduler, predictor_entries=1024)
+        if scheduler is not SchedulerModel.BASE
+        else FOUR_WIDE,
+        recovery=RecoveryModel.SELECTIVE,
+        use_dependence_matrix=True,
+    )
+    workload = SyntheticWorkload(get_profile("mcf"), seed=7)  # miss-heavy
+    processor = Processor(workload, config)
+    processor.run(max_insts=6000, warmup=8000)
+    stats = processor.stats
+    print(f"{label:20s} load-miss kills={stats.load_miss_replays:4d}  "
+          f"replayed={stats.replayed:5d}  "
+          f"matrix mismatches={processor.matrix_mismatches}")
+
+
+def main() -> None:
+    print(__doc__.split("Usage::")[0])
+    run("base wakeup", SchedulerModel.BASE)
+    run("sequential wakeup", SchedulerModel.SEQ_WAKEUP)
+    run("tag elimination", SchedulerModel.TAG_ELIM)
+    print("\nZero mismatches = the Figure 5 matrices alone could drive the")
+    print("replay (selective recovery works).  Tag elimination's mismatches")
+    print("are invalidations the matrices missed — it must fall back to")
+    print("non-selective replay, exactly as Section 3.1 argues.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's characterization data (Figures 2-7, 10, Table 3).
+
+Usage::
+
+    python examples/spec_characterization.py [--benchmarks ...] [--insts N]
+
+Prints the machine-independent stream characterization (Figures 2/3) and
+the scheduler/register-file characterizations measured on the base 4- and
+8-wide machines (Figures 4, 6, 7, 10 and Table 3).
+"""
+
+import argparse
+
+from repro.analysis import experiments, render
+from repro.analysis.runner import ExperimentRunner
+from repro.workloads import SPEC_BENCHMARKS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmarks", default=",".join(SPEC_BENCHMARKS))
+    parser.add_argument("--insts", type=int, default=10_000)
+    parser.add_argument("--warmup", type=int, default=15_000)
+    args = parser.parse_args()
+
+    names = tuple(b for b in args.benchmarks.split(",") if b in SPEC_BENCHMARKS)
+    runner = ExperimentRunner(insts=args.insts, warmup=args.warmup, benchmarks=names)
+
+    for exp_id in ("table2", "fig2", "fig3", "fig4", "fig6", "table3", "fig7", "fig10"):
+        result = experiments.ALL_EXPERIMENTS[exp_id](runner)
+        print(render(result))
+        print()
+
+
+if __name__ == "__main__":
+    main()

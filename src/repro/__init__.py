@@ -1,0 +1,64 @@
+"""repro — a reproduction of *Half-Price Architecture* (Kim & Lipasti, ISCA 2003).
+
+The package implements, from scratch:
+
+* a cycle-level out-of-order superscalar simulator with speculative
+  scheduling and configurable replay (the SimpleScalar-derived substrate
+  the paper evaluates on);
+* the paper's two techniques — **sequential wakeup** and **sequential
+  register access** — plus the **tag elimination** baseline it compares
+  against;
+* an executable Alpha-flavoured mini-ISA (assembler, emulator) and
+  calibrated synthetic clones of the SPEC CINT2000 benchmarks;
+* analytic circuit timing models reproducing the paper's wakeup-delay and
+  register-file access-time claims;
+* an experiment harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import FOUR_WIDE, SchedulerModel, simulate
+    from repro.workloads import SyntheticWorkload, get_profile
+
+    workload = SyntheticWorkload(get_profile("gcc"))
+    base = simulate(workload, FOUR_WIDE)
+    seq = simulate(workload, FOUR_WIDE.with_techniques(
+        scheduler=SchedulerModel.SEQ_WAKEUP))
+    print(base.ipc, seq.ipc)
+"""
+
+from repro.errors import (
+    AssemblyError,
+    ConfigurationError,
+    EmulationError,
+    ReproError,
+    SimulationError,
+)
+from repro.pipeline.config import (
+    EIGHT_WIDE,
+    FOUR_WIDE,
+    MachineConfig,
+    RecoveryModel,
+    RegFileModel,
+    SchedulerModel,
+)
+from repro.pipeline.processor import Processor, SimulationResult, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblyError",
+    "ConfigurationError",
+    "EmulationError",
+    "ReproError",
+    "SimulationError",
+    "EIGHT_WIDE",
+    "FOUR_WIDE",
+    "MachineConfig",
+    "RecoveryModel",
+    "RegFileModel",
+    "SchedulerModel",
+    "Processor",
+    "SimulationResult",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.analysis.runner` — memoizing simulation runner;
+* :mod:`repro.analysis.experiments` — one function per table/figure;
+* :mod:`repro.analysis.report` — ASCII rendering of experiment results.
+"""
+
+from repro.analysis.runner import ExperimentRunner, default_runner
+from repro.analysis.report import ExperimentResult, render
+from repro.analysis import experiments
+
+__all__ = ["ExperimentRunner", "default_runner", "ExperimentResult", "render", "experiments"]

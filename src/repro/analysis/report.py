@@ -1,0 +1,74 @@
+"""ASCII rendering for experiment results (tables and bar charts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    Attributes:
+        exp_id: the paper's identifier ("Table 2", "Figure 14", ...).
+        title: short description.
+        headers: column names.
+        rows: table cells (numbers are formatted by :func:`render`).
+        notes: free-form caveats shown under the table.
+    """
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> list:
+        """Values of the named column across all rows."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key) -> list:
+        """The row whose first cell equals *key*."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(key)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned ASCII table."""
+    table = [result.headers] + [
+        [_format_cell(cell) for cell in row] for row in result.rows
+    ]
+    widths = [max(len(row[col]) for row in table) for col in range(len(result.headers))]
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    header = "  ".join(h.ljust(w) for h, w in zip(table[0], widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in table[1:]:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_bars(
+    title: str, values: dict[str, float], scale: float = 40.0, unit: str = ""
+) -> str:
+    """Render a labelled horizontal bar chart (for figure-style output)."""
+    if not values:
+        return title
+    peak = max(abs(v) for v in values.values()) or 1.0
+    lines = [title]
+    label_width = max(len(k) for k in values)
+    for key, value in values.items():
+        bar = "#" * max(0, round(abs(value) / peak * scale))
+        lines.append(f"  {key.ljust(label_width)} |{bar} {value:.3f}{unit}")
+    return "\n".join(lines)

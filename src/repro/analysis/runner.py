@@ -1,0 +1,115 @@
+"""Memoizing simulation runner shared by the benchmark harness.
+
+A full figure regeneration needs up to 8 machine variants × 2 widths × 12
+benchmarks; base-machine results are shared between figures, so results are
+memoized by (benchmark, config, run length).  Environment knobs::
+
+    REPRO_INSTS      measured instructions per run   (default 15000)
+    REPRO_WARMUP     warmup instructions per run     (default 20000)
+    REPRO_SEED       first workload seed             (default 42)
+    REPRO_SEEDS      seeds averaged per IPC comparison (default 2)
+    REPRO_BENCHMARKS comma-separated benchmark subset (default: all 12)
+
+Normalized-IPC comparisons average over ``REPRO_SEEDS`` workload seeds:
+individual runs carry a percent-level scheduling-chaos noise (cache LRU
+and replay interleavings), which seed averaging suppresses.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.pipeline.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
+from repro.pipeline.processor import Processor, SimulationResult
+from repro.workloads.profiles import SPEC_BENCHMARKS, get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Figure 7's shadow predictor table sizes.
+SHADOW_SIZES = (128, 512, 1024, 4096)
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+class ExperimentRunner:
+    """Runs and memoizes benchmark simulations."""
+
+    def __init__(
+        self,
+        insts: int | None = None,
+        warmup: int | None = None,
+        seed: int | None = None,
+        benchmarks: tuple[str, ...] | None = None,
+        num_seeds: int | None = None,
+    ):
+        self.insts = insts if insts is not None else _env_int("REPRO_INSTS", 15_000)
+        self.warmup = warmup if warmup is not None else _env_int("REPRO_WARMUP", 20_000)
+        self.seed = seed if seed is not None else _env_int("REPRO_SEED", 42)
+        count = num_seeds if num_seeds is not None else _env_int("REPRO_SEEDS", 2)
+        self.seeds = tuple(self.seed + index for index in range(max(1, count)))
+        if benchmarks is None:
+            env = os.environ.get("REPRO_BENCHMARKS", "")
+            benchmarks = tuple(b for b in env.split(",") if b) or SPEC_BENCHMARKS
+        self.benchmarks = benchmarks
+        self._workloads: dict[tuple[str, int], SyntheticWorkload] = {}
+        self._results: dict[tuple, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    def workload(self, benchmark: str, seed: int | None = None) -> SyntheticWorkload:
+        key = (benchmark, seed if seed is not None else self.seed)
+        if key not in self._workloads:
+            self._workloads[key] = SyntheticWorkload(get_profile(benchmark), seed=key[1])
+        return self._workloads[key]
+
+    def result(
+        self,
+        benchmark: str,
+        config: MachineConfig,
+        shadow: bool = False,
+        seed: int | None = None,
+    ) -> SimulationResult:
+        """Run (or fetch the memoized) simulation of one benchmark."""
+        seed = seed if seed is not None else self.seed
+        key = (benchmark, seed, config.name, config.width, self.insts, self.warmup, shadow)
+        if key not in self._results:
+            processor = Processor(
+                self.workload(benchmark, seed),
+                config,
+                shadow_sizes=SHADOW_SIZES if shadow else None,
+            )
+            self._results[key] = processor.run(max_insts=self.insts, warmup=self.warmup)
+        return self._results[key]
+
+    def base(self, benchmark: str, width: int = 4, shadow: bool = False) -> SimulationResult:
+        """Base-machine result at the requested width (first seed)."""
+        return self.result(benchmark, FOUR_WIDE if width == 4 else EIGHT_WIDE, shadow)
+
+    def normalized_ipc(self, benchmark: str, config: MachineConfig) -> float:
+        """IPC of *config* over the same-width base, averaged across seeds.
+
+        Averaging paired (same-workload) ratios suppresses the percent-level
+        scheduling-chaos noise of individual runs.
+        """
+        base_config = FOUR_WIDE if config.width == 4 else EIGHT_WIDE
+        ratios = []
+        for seed in self.seeds:
+            base = self.result(benchmark, base_config, seed=seed)
+            variant = self.result(benchmark, config, seed=seed)
+            if base.ipc:
+                ratios.append(variant.ipc / base.ipc)
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+_DEFAULT: ExperimentRunner | None = None
+
+
+def default_runner() -> ExperimentRunner:
+    """Process-wide shared runner (benchmark modules reuse its cache)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ExperimentRunner()
+    return _DEFAULT

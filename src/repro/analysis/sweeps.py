@@ -1,0 +1,99 @@
+"""Parameter sweeps: sensitivity studies around the paper's design points.
+
+The paper fixes one 4-wide and one 8-wide machine; these helpers vary a
+single dimension at a time (window size, machine width, predictor size,
+load speculation shadow) and report how the half-price techniques respond —
+the kind of ablation a reviewer would ask for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable
+
+from repro.analysis.report import ExperimentResult
+from repro.analysis.runner import ExperimentRunner
+from repro.pipeline.config import FOUR_WIDE, MachineConfig, SchedulerModel
+
+
+def sweep(
+    runner: ExperimentRunner,
+    benchmark: str,
+    configs: dict[str, MachineConfig],
+    metric: Callable = None,
+) -> dict[str, float]:
+    """Run one benchmark over several configs; return metric per label.
+
+    ``metric`` receives a SimulationResult and defaults to IPC.
+    """
+    metric = metric or (lambda result: result.ipc)
+    return {
+        label: metric(runner.result(benchmark, config))
+        for label, config in configs.items()
+    }
+
+
+def window_size_sweep(
+    runner: ExperimentRunner,
+    benchmark: str,
+    sizes: Iterable[int] = (16, 32, 64, 128),
+) -> ExperimentResult:
+    """Base vs. sequential-wakeup IPC as the scheduler window grows.
+
+    Bigger windows lengthen the wakeup bus, which is exactly when the
+    paper's capacitance argument matters most; the IPC side of that trade
+    is what this sweep reports.
+    """
+    result = ExperimentResult(
+        "Sweep W",
+        f"IPC vs. window size ({benchmark}, 4-wide)",
+        ["window", "base ipc", "seq wakeup ipc", "normalized"],
+    )
+    for size in sizes:
+        base = dataclasses.replace(
+            FOUR_WIDE, ruu_size=size, lsq_size=max(4, size // 2),
+            name=f"4-wide-w{size}",
+        )
+        seq = base.with_techniques(scheduler=SchedulerModel.SEQ_WAKEUP)
+        base_ipc = runner.result(benchmark, base).ipc
+        seq_ipc = runner.result(benchmark, seq).ipc
+        result.rows.append(
+            [size, base_ipc, seq_ipc, seq_ipc / base_ipc if base_ipc else 0.0]
+        )
+    return result
+
+
+def width_sweep(
+    runner: ExperimentRunner,
+    benchmark: str,
+    widths: Iterable[int] = (2, 4, 8),
+) -> ExperimentResult:
+    """Technique cost vs. machine width (the paper contrasts 4 and 8)."""
+    result = ExperimentResult(
+        "Sweep X",
+        f"Sequential wakeup cost vs. width ({benchmark})",
+        ["width", "base ipc", "seq wakeup normalized"],
+    )
+    for width in widths:
+        base = dataclasses.replace(
+            FOUR_WIDE,
+            width=width,
+            ruu_size=max(16, 16 * width),
+            lsq_size=max(8, 8 * width),
+            fu=dataclasses.replace(
+                FOUR_WIDE.fu,
+                int_alu=width,
+                fp_alu=max(1, width // 2),
+                int_mult=max(1, width // 2),
+                fp_mult=max(1, width // 2),
+                mem_ports=max(1, width // 2),
+            ),
+            name=f"{width}-wide-sweep",
+        )
+        seq = base.with_techniques(scheduler=SchedulerModel.SEQ_WAKEUP)
+        base_ipc = runner.result(benchmark, base).ipc
+        seq_ipc = runner.result(benchmark, seq).ipc
+        result.rows.append(
+            [width, base_ipc, seq_ipc / base_ipc if base_ipc else 0.0]
+        )
+    return result

@@ -1,0 +1,116 @@
+"""Validation scorecard: does the reproduction preserve the paper's shapes?
+
+Each check encodes one conclusion of the paper as a testable predicate
+over the regenerated experiments.  The scorecard is the automated version
+of EXPERIMENTS.md's judgement column: absolute values differ (synthetic
+workloads, see DESIGN.md §3) but the *direction and rough magnitude* of
+every claim must hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis import experiments
+from repro.analysis.report import ExperimentResult
+from repro.analysis.runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class Check:
+    """One shape check."""
+
+    name: str
+    paper_claim: str
+    predicate: Callable[[ExperimentRunner], tuple[bool, str]]
+
+
+def _averages(result: ExperimentResult) -> list:
+    return result.row_for("average")
+
+
+def _check_timing(runner) -> tuple[bool, str]:
+    rows = experiments.timing_claims(runner).rows
+    worst = max(abs(measured - paper) / paper for _, measured, paper in rows)
+    return worst < 0.01, f"max relative error {worst:.3%}"
+
+
+def _check_table2_ordering(runner) -> tuple[bool, str]:
+    result = experiments.table2(runner)
+    ipc4 = {row[0]: row[2] for row in result.rows}
+    if "mcf" not in ipc4 or len(ipc4) < 2:
+        return True, "subset without mcf: skipped"
+    others = [v for k, v in ipc4.items() if k != "mcf"]
+    ok = ipc4["mcf"] < min(others)
+    return ok, f"mcf={ipc4['mcf']:.2f} vs min(others)={min(others):.2f}"
+
+
+def _check_fig2_band(runner) -> tuple[bool, str]:
+    result = experiments.fig2(runner)
+    values = result.column("%2src-format")
+    ok = all(5.0 <= v <= 45.0 for v in values)
+    return ok, f"range {min(values):.1f}..{max(values):.1f}% (paper 18..36%)"
+
+
+def _check_fig4_uncommon(runner) -> tuple[bool, str]:
+    result = experiments.fig4(runner)
+    values = result.column("%0-ready(4w)")
+    ok = max(values) <= 40.0 and sum(values) / len(values) <= 25.0
+    return ok, f"0-ready mean {sum(values)/len(values):.1f}% (paper 4..16%)"
+
+
+def _check_fig10_rare(runner) -> tuple[bool, str]:
+    result = experiments.fig10(runner)
+    values = result.column("%needs-2-reads")
+    mean = sum(values) / len(values)
+    return mean <= 8.0, f"needs-2-reads mean {mean:.1f}% (paper <4%)"
+
+
+def _check_fig14_seq_wakeup_cheap(runner) -> tuple[bool, str]:
+    average = _averages(experiments.fig14(runner, 4))[1]
+    return average >= 0.97, f"seq wakeup 4-wide normalized {average:.4f} (paper 0.996)"
+
+
+def _check_fig14_beats_tag_elim(runner) -> tuple[bool, str]:
+    row = _averages(experiments.fig14(runner, 8))
+    seq, tag_elim = row[1], row[2]
+    return seq >= tag_elim - 0.01, f"8-wide: seq {seq:.4f} vs tag elim {tag_elim:.4f}"
+
+
+def _check_fig15_seq_rf_cheap(runner) -> tuple[bool, str]:
+    average = _averages(experiments.fig15(runner, 4))[1]
+    return average >= 0.97, f"seq RF 4-wide normalized {average:.4f} (paper 0.989)"
+
+
+def _check_fig16_combined(runner) -> tuple[bool, str]:
+    average = _averages(experiments.fig16(runner, 4))[1]
+    return 0.93 <= average <= 1.005, f"combined 4-wide {average:.4f} (paper 0.978)"
+
+
+ALL_CHECKS: tuple[Check, ...] = (
+    Check("timing-anchors", "466->374 ps wakeup; 1.71->1.36 ns RF", _check_timing),
+    Check("table2-mcf-slowest", "mcf is the lowest-IPC benchmark", _check_table2_ordering),
+    Check("fig2-band", "18~36% of instructions are 2-source-format", _check_fig2_band),
+    Check("fig4-uncommon", "few 2-source insts have 0 ready operands", _check_fig4_uncommon),
+    Check("fig10-rare", "<4% of insts need two RF port reads", _check_fig10_rare),
+    Check("fig14-seq-wakeup", "seq wakeup costs ~0.4% IPC", _check_fig14_seq_wakeup_cheap),
+    Check("fig14-vs-tag-elim", "seq wakeup >= tag elim on 8-wide", _check_fig14_beats_tag_elim),
+    Check("fig15-seq-rf", "seq register access costs ~1.1% IPC", _check_fig15_seq_rf_cheap),
+    Check("fig16-combined", "combined techniques cost ~2.2% IPC", _check_fig16_combined),
+)
+
+
+def scorecard(runner: ExperimentRunner) -> ExperimentResult:
+    """Run every shape check; returns a PASS/FAIL table."""
+    result = ExperimentResult(
+        "Scorecard",
+        "Shape-preservation checks against the paper's conclusions",
+        ["check", "verdict", "detail", "paper claim"],
+    )
+    for check in ALL_CHECKS:
+        ok, detail = check.predicate(runner)
+        result.rows.append(
+            [check.name, "PASS" if ok else "FAIL", detail, check.paper_claim]
+        )
+    return result

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show available benchmarks, kernels and experiments;
+* ``run`` — simulate a synthetic benchmark on a configured machine;
+* ``kernel`` — run an assembly kernel (optionally with a pipeline trace);
+* ``experiment`` — regenerate one or more of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments as experiment_defs
+from repro.analysis.report import render
+from repro.analysis.runner import ExperimentRunner
+from repro.pipeline.config import (
+    EIGHT_WIDE,
+    FOUR_WIDE,
+    BypassModel,
+    RegFileModel,
+    RenameModel,
+    SchedulerModel,
+)
+from repro.pipeline.pipetrace import render_pipetrace
+from repro.pipeline.processor import Processor
+from repro.workloads.feed import EmulatorFeed
+from repro.workloads.kernels import KERNELS, kernel_program
+from repro.workloads.profiles import SPEC_BENCHMARKS, get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def _machine(args) -> "MachineConfig":
+    config = FOUR_WIDE if args.width == 4 else EIGHT_WIDE
+    techniques = {}
+    if args.scheduler != "base":
+        techniques["scheduler"] = SchedulerModel(args.scheduler)
+    if args.regfile != "base":
+        techniques["regfile"] = RegFileModel(args.regfile)
+    if args.half_rename:
+        techniques["rename"] = RenameModel.HALF_PORTS
+    if args.half_bypass:
+        techniques["bypass"] = BypassModel.HALF
+    if args.no_predictor:
+        techniques["predictor_entries"] = None
+    if techniques:
+        config = config.with_techniques(**techniques)
+    return config
+
+
+def _add_machine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=4, choices=(4, 8))
+    parser.add_argument(
+        "--scheduler", default="base", choices=[m.value for m in SchedulerModel]
+    )
+    parser.add_argument(
+        "--regfile", default="base", choices=[m.value for m in RegFileModel]
+    )
+    parser.add_argument("--half-rename", action="store_true")
+    parser.add_argument("--half-bypass", action="store_true")
+    parser.add_argument("--no-predictor", action="store_true")
+
+
+def _print_summary(result, processor) -> None:
+    stats = result.stats
+    print(f"machine:   {result.config_name}")
+    print(f"workload:  {result.workload_name}")
+    print(f"cycles:    {stats.cycles}")
+    print(f"committed: {stats.committed}")
+    print(f"IPC:       {stats.ipc:.4f}")
+    print(f"branch mispredict rate: {stats.branch_mispredict_rate:.2%}")
+    print(f"DL1 miss rate:          {processor.memory.dl1.stats.miss_rate:.2%}")
+    print(f"replayed issues:        {stats.replayed}")
+    print(f"load-miss replays:      {stats.load_miss_replays}")
+    if stats.sequential_rf_accesses:
+        print(f"sequential RF accesses: {stats.sequential_rf_accesses}")
+    if stats.tag_elim_misschedules:
+        print(f"tag-elim misschedules:  {stats.tag_elim_misschedules}")
+    if stats.rename_port_stalls:
+        print(f"rename port stalls:     {stats.rename_port_stalls}")
+    if stats.double_bypass_delays:
+        print(f"double-bypass delays:   {stats.double_bypass_delays}")
+
+
+def _cmd_list(args) -> int:
+    print("benchmarks: " + ", ".join(SPEC_BENCHMARKS))
+    print("kernels:    " + ", ".join(sorted(KERNELS)))
+    print("experiments:" + " " + ", ".join(experiment_defs.ALL_EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = _machine(args)
+    workload = SyntheticWorkload(get_profile(args.benchmark), seed=args.seed)
+    processor = Processor(workload, config)
+    result = processor.run(max_insts=args.insts, warmup=args.warmup)
+    _print_summary(result, processor)
+    return 0
+
+
+def _cmd_kernel(args) -> int:
+    config = _machine(args)
+    feed = EmulatorFeed(kernel_program(args.name), name=args.name)
+    processor = Processor(feed, config, record_schedule=args.pipetrace > 0)
+    result = processor.run(max_insts=10**7, warmup=0)
+    _print_summary(result, processor)
+    if args.pipetrace > 0:
+        print()
+        print(render_pipetrace(processor, first_seq=0, count=args.pipetrace))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    runner = ExperimentRunner(
+        insts=args.insts,
+        warmup=args.warmup,
+        benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks else None,
+    )
+    names = list(experiment_defs.ALL_EXPERIMENTS) if "all" in args.ids else args.ids
+    for name in names:
+        function = experiment_defs.ALL_EXPERIMENTS.get(name)
+        if function is None:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        print(render(function(runner)))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Half-Price Architecture reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="show benchmarks/kernels/experiments")
+
+    run_parser = subparsers.add_parser("run", help="simulate a synthetic benchmark")
+    run_parser.add_argument("benchmark", choices=SPEC_BENCHMARKS)
+    run_parser.add_argument("--insts", type=int, default=15_000)
+    run_parser.add_argument("--warmup", type=int, default=20_000)
+    run_parser.add_argument("--seed", type=int, default=42)
+    _add_machine_arguments(run_parser)
+
+    kernel_parser = subparsers.add_parser("kernel", help="run an assembly kernel")
+    kernel_parser.add_argument("name", choices=sorted(KERNELS))
+    kernel_parser.add_argument(
+        "--pipetrace", type=int, default=0, metavar="N",
+        help="render the pipeline timeline of the first N instructions",
+    )
+    _add_machine_arguments(kernel_parser)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="regenerate paper tables/figures"
+    )
+    experiment_parser.add_argument(
+        "ids", nargs="+",
+        help="experiment ids (see 'repro list'), or 'all'",
+    )
+    experiment_parser.add_argument("--insts", type=int, default=None)
+    experiment_parser.add_argument("--warmup", type=int, default=None)
+    experiment_parser.add_argument("--benchmarks", default=None)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "kernel": _cmd_kernel,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""Issue queue entries and per-operand wakeup state.
+
+An :class:`IQEntry` models one scheduler entry: up to two register source
+operands (each with ready/now bits and a fast/slow side assignment), plus an
+optional memory dependence (store-to-load forwarding) that real hardware
+tracks in the LSQ rather than on the wakeup bus.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.last_arrival import OperandSide
+from repro.workloads.trace import DynOp
+
+
+class EntryState(enum.Enum):
+    """Lifecycle of an issue-queue entry."""
+
+    WAITING = "waiting"      # in the scheduler, not yet selected
+    ISSUED = "issued"        # selected; replayable until freed
+    COMPLETED = "completed"  # executed; result architecturally final
+    SQUASHED = "squashed"    # transient: pulled back, about to re-wait
+
+
+class Operand:
+    """One register source operand of an issue queue entry."""
+
+    __slots__ = (
+        "tag",
+        "side",
+        "ready",
+        "ready_cycle",
+        "ready_at_insert",
+        "first_wake_cycle",
+        "arrival_cycle",
+        "matrix",
+    )
+
+    def __init__(self, tag: int | None, side: OperandSide):
+        #: producing instruction's tag, or None if the value was already
+        #: valid at rename time (architectural value)
+        self.tag = tag
+        self.side = side
+        self.ready = tag is None
+        #: cycle the ready bit was (last) set; insert cycle for insert-ready
+        self.ready_cycle = -1
+        self.ready_at_insert = tag is None
+        #: first cycle a wakeup was delivered (stats; never reset by replay)
+        self.first_wake_cycle: int | None = None
+        #: first cycle the producing tag broadcast (stats; side-independent)
+        self.arrival_cycle: int | None = None
+        #: Figure 5 dependence matrix delivered with the wakeup (None when
+        #: the machinery is off or the operand has no bus comparator)
+        self.matrix = None
+
+    def wake(self, cycle: int) -> None:
+        self.ready = True
+        self.ready_cycle = cycle
+        if self.first_wake_cycle is None:
+            self.first_wake_cycle = cycle
+
+    def unwake(self) -> None:
+        """Clear readiness after the producing broadcast was invalidated."""
+        self.ready = False
+        self.ready_cycle = -1
+        self.matrix = None
+
+    def woke_now(self, cycle: int) -> bool:
+        """The Figure 11 ``now`` bit: tag matched in this very cycle."""
+        return self.ready and self.ready_cycle == cycle and not self.ready_at_insert
+
+
+class IQEntry:
+    """One instruction in the scheduler window."""
+
+    __slots__ = (
+        "op",
+        "tag",
+        "operands",
+        "mem_dep_tag",
+        "mem_dep_ready",
+        "state",
+        "insert_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "predicted_last",
+        "fast_side",
+        "seq_reg_access",
+        "effective_latency",
+        "replays",
+        "forwarded",
+        "mem_fill_cycle",
+        "stat_ready_at_insert",
+        "stat_wakeup_recorded",
+        "stat_issued_once",
+        "epoch",
+        "eligible_cycle",
+        "in_ready",
+        "rf_category",
+        "slot",
+    )
+
+    def __init__(
+        self,
+        op: DynOp,
+        tag: int,
+        operands: list[Operand],
+        insert_cycle: int,
+        predicted_last: OperandSide = OperandSide.RIGHT,
+    ):
+        self.op = op
+        self.tag = tag
+        self.operands = operands
+        self.mem_dep_tag: int | None = None
+        self.mem_dep_ready = True
+        self.state = EntryState.WAITING
+        self.insert_cycle = insert_cycle
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.predicted_last = predicted_last
+        #: which operand side sits on the fast wakeup bus (sequential
+        #: wakeup) or keeps its comparator (tag elimination)
+        self.fast_side = predicted_last
+        self.seq_reg_access = False
+        self.effective_latency = 0
+        self.replays = 0
+        #: load got its value from an older in-flight store (LSQ forward)
+        self.forwarded = False
+        #: absolute cycle the load's data arrives (loads only; set at the
+        #: first issue — the line fill stays in flight across replays)
+        self.mem_fill_cycle: int | None = None
+        # -- statistics captured once, at first events ------------------
+        self.stat_ready_at_insert = sum(1 for o in operands if o.ready_at_insert)
+        self.stat_wakeup_recorded = False
+        self.stat_issued_once = False
+        #: incremented on every (re)issue; guards stale scheduled events
+        self.epoch = 0
+        #: earliest cycle the entry may be selected (post-replay throttle)
+        self.eligible_cycle = insert_cycle + 1
+        #: whether the entry currently sits in the scheduler's ready set
+        self.in_ready = False
+        #: Figure 10 category stamped at (final) issue
+        self.rf_category: str | None = None
+        #: issue slot taken at the most recent issue (Figure 5 column)
+        self.slot = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def is_two_source(self) -> bool:
+        return len(self.operands) == 2
+
+    @property
+    def is_two_pending(self) -> bool:
+        """Two operands, neither ready at insert (Figure 4 bottom bars)."""
+        return self.is_two_source and self.stat_ready_at_insert == 0
+
+    def operand_on(self, side: OperandSide) -> Operand | None:
+        for operand in self.operands:
+            if operand.side is side:
+                return operand
+        return None
+
+    def all_register_operands_ready(self) -> bool:
+        return all(operand.ready for operand in self.operands)
+
+    def pending_operands(self) -> list[Operand]:
+        return [operand for operand in self.operands if not operand.ready]
+
+    def reset_for_replay(self, scoreboard_valid) -> None:
+        """Return the entry to WAITING after a scheduling replay.
+
+        ``scoreboard_valid(tag, ready_cycle)`` reports whether the broadcast
+        that satisfied an operand is still valid; operands satisfied by
+        squashed producers lose their ready bits.
+        """
+        self.state = EntryState.WAITING
+        self.issue_cycle = -1
+        self.seq_reg_access = False
+        self.replays += 1
+        for operand in self.operands:
+            if operand.ready and operand.tag is not None:
+                if not scoreboard_valid(operand.tag):
+                    operand.unwake()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"IQEntry(tag={self.tag}, {self.op.opcode}, state={self.state.value}, "
+            f"ops={[(o.tag, o.ready) for o in self.operands]})"
+        )

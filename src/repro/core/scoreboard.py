@@ -1,0 +1,108 @@
+"""Destination-tag scoreboard with consumer tracking and invalidation.
+
+Every in-flight instruction that produces a value owns a *tag*.  The
+scoreboard records, per tag:
+
+* when (if ever) the tag's wakeup broadcast was delivered;
+* whether the broadcast is still *valid* — a load-latency misprediction or
+  a replay invalidates the speculative broadcast until the real data
+  arrives;
+* which issue-queue operands consume the tag, so invalidation can cascade
+  (the Figure 5 dependence-propagation mechanism, in data-structure form).
+"""
+
+from __future__ import annotations
+
+from repro.core.iq import IQEntry
+
+
+class TagRecord:
+    """Lifecycle of one destination tag."""
+
+    __slots__ = (
+        "producer",
+        "broadcast_cycle",
+        "data_cycle",
+        "valid",
+        "consumers",
+        "matrix_payload",
+    )
+
+    def __init__(self, producer: IQEntry | None):
+        self.producer = producer
+        #: cycle the wakeup broadcast was delivered (None = not yet)
+        self.broadcast_cycle: int | None = None
+        #: cycle the value is actually available (None = not yet known)
+        self.data_cycle: int | None = None
+        #: False after the speculative broadcast was invalidated
+        self.valid = False
+        self.consumers: list[tuple[IQEntry, int]] = []
+        #: Figure 5 matrix carried on the bus with the last broadcast
+        self.matrix_payload = None
+
+
+class Scoreboard:
+    """Tag table shared by rename, wakeup and replay."""
+
+    def __init__(self):
+        self._records: dict[int, TagRecord] = {}
+
+    # ------------------------------------------------------------------
+    def allocate(self, tag: int, producer: IQEntry | None) -> TagRecord:
+        record = TagRecord(producer)
+        self._records[tag] = record
+        return record
+
+    def get(self, tag: int) -> TagRecord | None:
+        return self._records.get(tag)
+
+    def free(self, tag: int) -> None:
+        self._records.pop(tag, None)
+
+    def add_consumer(self, tag: int, entry: IQEntry, op_index: int) -> None:
+        record = self._records.get(tag)
+        if record is not None:
+            record.consumers.append((entry, op_index))
+
+    # ------------------------------------------------------------------
+    def mark_broadcast(self, tag: int, cycle: int) -> None:
+        record = self._records.get(tag)
+        if record is not None:
+            record.broadcast_cycle = cycle
+            record.valid = True
+
+    def mark_data(self, tag: int, cycle: int) -> None:
+        record = self._records.get(tag)
+        if record is not None:
+            record.data_cycle = cycle
+
+    def invalidate(self, tag: int) -> list[tuple[IQEntry, int]]:
+        """Invalidate a tag's broadcast; return its consumers for cascade."""
+        record = self._records.get(tag)
+        if record is None:
+            return []
+        record.valid = False
+        record.broadcast_cycle = None
+        record.data_cycle = None
+        return list(record.consumers)
+
+    # ------------------------------------------------------------------
+    def is_valid(self, tag: int) -> bool:
+        """Is the tag's most recent broadcast still standing?"""
+        record = self._records.get(tag)
+        # Tags absent from the table belong to retired producers whose
+        # values are architectural: always valid.
+        return record is None or record.valid
+
+    def data_ready_by(self, tag: int, cycle: int) -> bool:
+        """Will the tag's value actually be available at *cycle*?
+
+        Used by the tag-elimination scoreboard check: an operand with no
+        comparator must be verified against real data availability.
+        """
+        record = self._records.get(tag)
+        if record is None:
+            return True
+        return record.valid and record.broadcast_cycle is not None and (
+            record.broadcast_cycle <= cycle
+        )

@@ -1,0 +1,65 @@
+"""Select logic: oldest-first with load/branch priority, per-slot bubbles.
+
+The paper's scheduler (Section 2.1) selects with an oldest-instruction-first
+policy, loads and branches outranking other instruction types, older
+instructions first within each priority group — mirroring the base
+SimpleScalar model.  Each issue slot has its own select logic, so a
+sequential register access disables exactly one slot for one cycle
+(Section 4.3, Figure 11b).
+"""
+
+from __future__ import annotations
+
+from repro.core.iq import IQEntry
+from repro.isa.opcodes import OpClass
+
+#: Instruction classes with elevated select priority.
+_PRIORITY_CLASSES = (OpClass.LOAD, OpClass.BRANCH, OpClass.JUMP)
+
+
+def select_priority(entry: IQEntry) -> tuple[int, int]:
+    """Sort key implementing the paper's selection policy."""
+    high = 0 if entry.op.op_class in _PRIORITY_CLASSES else 1
+    return (high, entry.tag)
+
+
+class Selector:
+    """Issue-slot bookkeeping for one machine width.
+
+    Tracks which slots are disabled in the current cycle (by sequential
+    register accesses issued the previous cycle) and hands out free slots
+    in order.
+    """
+
+    def __init__(self, width: int):
+        self.width = width
+        self._disabled_now = 0
+        self._disable_next = 0
+
+    # ------------------------------------------------------------------
+    def begin_cycle(self) -> None:
+        """Rotate slot-disable state at the start of each cycle."""
+        self._disabled_now = self._disable_next
+        self._disable_next = 0
+
+    @property
+    def available_slots(self) -> int:
+        return self.width - self._disabled_now
+
+    def take_slot(self, bubble_next: bool = False) -> int:
+        """Claim one issue slot; optionally disable it for the next cycle.
+
+        Returns the claimed slot index, or -1 when every slot this cycle is
+        already claimed or disabled.
+        """
+        if self._disabled_now >= self.width:
+            return -1
+        slot = self._disabled_now
+        self._disabled_now += 1
+        if bubble_next:
+            self._disable_next += 1
+        return slot
+
+    def order(self, ready_entries: list[IQEntry]) -> list[IQEntry]:
+        """Return candidates in selection order."""
+        return sorted(ready_entries, key=select_priority)

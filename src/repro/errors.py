@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AssemblyError(ReproError):
+    """Raised by the assembler on malformed assembly source."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class EmulationError(ReproError):
+    """Raised by the functional emulator on illegal execution."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a machine or workload configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the timing simulator reaches an impossible state.
+
+    Seeing this exception always indicates a bug in the simulator (a broken
+    invariant), never a property of the simulated program.
+    """

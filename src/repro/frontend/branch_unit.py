@@ -1,0 +1,95 @@
+"""Branch unit: ties direction predictor, BTB and RAS into one facade.
+
+The timing simulator calls :meth:`BranchUnit.predict` at fetch time and
+:meth:`BranchUnit.resolve` when the branch executes.  PCs are instruction
+indices (the feed's PC space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.direction import CombinedPredictor
+from repro.frontend.ras import ReturnAddressStack
+
+
+@dataclass(frozen=True)
+class BranchPrediction:
+    """Front-end prediction for one control instruction."""
+
+    predicted_taken: bool
+    predicted_target: int | None
+
+    def next_pc(self, fallthrough: int) -> int | None:
+        """The PC fetch would redirect to (None = unknown target)."""
+        if not self.predicted_taken:
+            return fallthrough
+        return self.predicted_target
+
+
+class BranchUnit:
+    """Combined direction predictor + BTB + RAS (Table 1 configuration)."""
+
+    def __init__(
+        self,
+        direction: CombinedPredictor | None = None,
+        btb: BranchTargetBuffer | None = None,
+        ras: ReturnAddressStack | None = None,
+    ):
+        self.direction = direction or CombinedPredictor()
+        self.btb = btb or BranchTargetBuffer()
+        self.ras = ras or ReturnAddressStack()
+        self.predictions = 0
+        self.mispredictions = 0
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, pc: int, opcode_name: str, static_target: int | None
+    ) -> BranchPrediction:
+        """Predict direction and target for the control instruction at *pc*.
+
+        ``static_target`` is the decode-time target of direct branches
+        (None for register-indirect control flow).
+        """
+        if opcode_name == "BR":
+            return BranchPrediction(True, static_target)
+        if opcode_name in ("BEQ", "BNE", "BLT", "BGE"):
+            taken = self.direction.predict(pc)
+            return BranchPrediction(taken, static_target)
+        if opcode_name == "JSR":
+            self.ras.push(pc + 1)
+            return BranchPrediction(True, self.btb.lookup(pc))
+        if opcode_name == "RET":
+            target = self.ras.pop()
+            if target is None:
+                target = self.btb.lookup(pc)
+            return BranchPrediction(True, target)
+        # JMP and anything else register-indirect: BTB only.
+        return BranchPrediction(True, self.btb.lookup(pc))
+
+    def resolve(
+        self,
+        pc: int,
+        opcode_name: str,
+        prediction: BranchPrediction,
+        actual_taken: bool,
+        actual_next_pc: int,
+        fallthrough: int,
+    ) -> bool:
+        """Train predictors with the actual outcome; return True on mispredict."""
+        self.predictions += 1
+        if opcode_name in ("BEQ", "BNE", "BLT", "BGE"):
+            self.direction.update(pc, actual_taken)
+        if actual_taken and opcode_name not in ("BEQ", "BNE", "BLT", "BGE", "BR"):
+            self.btb.install(pc, actual_next_pc)
+        mispredicted = prediction.next_pc(fallthrough) != actual_next_pc
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

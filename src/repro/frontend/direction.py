@@ -1,0 +1,135 @@
+"""Branch direction predictors: bimodal, gshare and a combined selector.
+
+All predictors follow the same two-call protocol::
+
+    taken = predictor.predict(pc)
+    ...                       # later, when the branch resolves
+    predictor.update(pc, actual_taken)
+
+The combined predictor (McFarling-style, as shipped in the Alpha 21264 and
+SimpleScalar) keeps both component predictions from the most recent
+``predict`` internally so that ``update`` can train the selector.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter.
+
+    The counter predicts "taken"/"strong" when in the upper half of its
+    range.  Used by direction predictors and by the last-arriving operand
+    predictor in ``repro.core.last_arrival``.
+    """
+
+    __slots__ = ("value", "maximum")
+
+    def __init__(self, bits: int = 2, initial: int | None = None):
+        if bits < 1:
+            raise ConfigurationError("counter needs at least one bit")
+        self.maximum = (1 << bits) - 1
+        # Default: weakly-taken (just above the midpoint).
+        self.value = (self.maximum + 1) // 2 if initial is None else initial
+
+    def increment(self) -> None:
+        if self.value < self.maximum:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    def train(self, outcome: bool) -> None:
+        if outcome:
+            self.increment()
+        else:
+            self.decrement()
+
+    @property
+    def predict(self) -> bool:
+        return self.value > self.maximum // 2
+
+
+def _check_power_of_two(entries: int, what: str) -> None:
+    if entries <= 0 or entries & (entries - 1):
+        raise ConfigurationError(f"{what} table size must be a power of two")
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 4096, bits: int = 2):
+        _check_power_of_two(entries, "bimodal")
+        self.entries = entries
+        self._mask = entries - 1
+        self._table = [SaturatingCounter(bits) for _ in range(entries)]
+
+    def _index(self, pc: int) -> int:
+        return pc & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)].predict
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table[self._index(pc)].train(taken)
+
+
+class GSharePredictor:
+    """Global-history predictor: PC XOR history indexes a counter table."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12, bits: int = 2):
+        _check_power_of_two(entries, "gshare")
+        self.entries = entries
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self.history = 0
+        self._table = [SaturatingCounter(bits) for _ in range(entries)]
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)].predict
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter, then shift the outcome into the history."""
+        self._table[self._index(pc)].train(taken)
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+
+
+class CombinedPredictor:
+    """McFarling combined predictor: bimodal + gshare + selector.
+
+    The selector is a table of 2-bit counters indexed by PC; high values
+    favour the gshare component.  It trains only when the two components
+    disagree.
+    """
+
+    def __init__(
+        self,
+        bimodal_entries: int = 4096,
+        gshare_entries: int = 4096,
+        selector_entries: int = 4096,
+        history_bits: int = 12,
+    ):
+        _check_power_of_two(selector_entries, "selector")
+        self.bimodal = BimodalPredictor(bimodal_entries)
+        self.gshare = GSharePredictor(gshare_entries, history_bits)
+        self._selector = [SaturatingCounter(2) for _ in range(selector_entries)]
+        self._selector_mask = selector_entries - 1
+
+    def predict(self, pc: int) -> bool:
+        use_gshare = self._selector[pc & self._selector_mask].predict
+        if use_gshare:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_said = self.bimodal.predict(pc)
+        gshare_said = self.gshare.predict(pc)
+        if bimodal_said != gshare_said:
+            self._selector[pc & self._selector_mask].train(gshare_said == taken)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)

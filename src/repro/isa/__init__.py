@@ -1,0 +1,50 @@
+"""HPRISC: a small Alpha-flavoured load/store RISC instruction set.
+
+The paper targets the Alpha AXP ISA.  This package provides an executable
+stand-in with the properties the paper relies on:
+
+* four instruction format classes with 0, 1, 2 or 3 register fields,
+  supporting up to two source registers and one destination register;
+* architectural zero registers (``r31`` and ``f31``) whose reads never
+  create dependences and whose writes are discarded;
+* stores that carry two source registers but no ``MEM[reg + reg]`` indexing
+  mode, so they can be split into an address generation and a data move;
+* two-source-format nops (writes to the zero register) that the decoder
+  drops without execution, as the Alpha 21264 does.
+"""
+
+from repro.isa.registers import (
+    F31,
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    R31,
+    ZERO_REGS,
+    is_fp_reg,
+    is_zero_reg,
+    reg_name,
+)
+from repro.isa.opcodes import OpClass, Opcode, OPCODE_BY_NAME
+from repro.isa.instruction import Instruction
+from repro.isa.assembler import Program, assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.emulator import Emulator, MAX_STEPS_DEFAULT
+
+__all__ = [
+    "F31",
+    "FP_REG_BASE",
+    "NUM_ARCH_REGS",
+    "R31",
+    "ZERO_REGS",
+    "is_fp_reg",
+    "is_zero_reg",
+    "reg_name",
+    "OpClass",
+    "Opcode",
+    "OPCODE_BY_NAME",
+    "Instruction",
+    "Program",
+    "assemble",
+    "disassemble",
+    "Emulator",
+    "MAX_STEPS_DEFAULT",
+]

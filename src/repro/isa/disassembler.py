@@ -1,0 +1,58 @@
+"""Disassembler: render decoded instructions back to assembly text."""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import reg_name
+
+
+def disassemble(inst: Instruction, label: str | None = None) -> str:
+    """Render *inst* as one line of HPRISC assembly.
+
+    ``label`` overrides the numeric branch target with a symbolic name.
+    """
+    name = inst.opcode.name
+    cls = inst.op_class
+    target = label if label is not None else (
+        str(inst.target) if inst.target is not None else "?"
+    )
+    if cls in (OpClass.NOP, OpClass.HALT):
+        if name == "NOP2":
+            return f"NOP2 {reg_name(inst.srcs[0])}, {reg_name(inst.srcs[1])}"
+        return name
+    if cls is OpClass.LOAD:
+        return f"{name} {reg_name(inst.dest)}, {inst.imm}({reg_name(inst.srcs[0])})"
+    if cls is OpClass.STORE:
+        return f"{name} {reg_name(inst.srcs[0])}, {inst.imm}({reg_name(inst.srcs[1])})"
+    if cls is OpClass.BRANCH:
+        if name == "BR":
+            return f"BR {target}"
+        return f"{name} {reg_name(inst.srcs[0])}, {target}"
+    if cls is OpClass.JUMP:
+        if name == "JSR":
+            return f"JSR {reg_name(inst.dest)}, ({reg_name(inst.srcs[0])})"
+        return f"{name} ({reg_name(inst.srcs[0])})"
+    # Operate formats.
+    if name == "LDI":
+        return f"LDI {reg_name(inst.dest)}, {inst.imm}"
+    if name in ("MOV", "MOVF"):
+        return f"{name} {reg_name(inst.dest)}, {reg_name(inst.srcs[0])}"
+    if len(inst.srcs) == 1:
+        return f"{name} {reg_name(inst.dest)}, {reg_name(inst.srcs[0])}, #{inst.imm}"
+    return (
+        f"{name} {reg_name(inst.dest)}, "
+        f"{reg_name(inst.srcs[0])}, {reg_name(inst.srcs[1])}"
+    )
+
+
+def disassemble_program(program) -> str:
+    """Render a whole :class:`~repro.isa.assembler.Program` as text."""
+    index_to_label = {v: k for k, v in program.labels.items()}
+    lines = []
+    for index, inst in enumerate(program.instructions):
+        if index in index_to_label:
+            lines.append(f"{index_to_label[index]}:")
+        label = index_to_label.get(inst.target) if inst.target is not None else None
+        lines.append("    " + disassemble(inst, label=label))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Architectural register file layout for HPRISC.
+
+Registers are identified by small integers:
+
+* ``0 .. 31``  — integer registers ``r0`` .. ``r31``
+* ``32 .. 63`` — floating-point registers ``f0`` .. ``f31``
+
+``r31`` and ``f31`` are hardwired zero registers, mirroring the Alpha AXP
+convention the paper depends on for its Figure 3 breakdown: a source operand
+naming a zero register never creates a data dependence, and a destination
+naming one turns the instruction into an architectural nop.
+"""
+
+from __future__ import annotations
+
+#: Number of integer architectural registers.
+NUM_INT_REGS = 32
+#: Offset at which floating-point register indices begin.
+FP_REG_BASE = 32
+#: Total number of architectural registers (integer + floating point).
+NUM_ARCH_REGS = 64
+
+#: The integer zero register (Alpha ``r31``).
+R31 = 31
+#: The floating-point zero register (Alpha ``f31``).
+F31 = FP_REG_BASE + 31
+
+#: The set of architectural zero registers.
+ZERO_REGS = frozenset({R31, F31})
+
+
+def is_fp_reg(reg: int) -> bool:
+    """Return True if *reg* indexes a floating-point register."""
+    return FP_REG_BASE <= reg < NUM_ARCH_REGS
+
+
+def is_zero_reg(reg: int) -> bool:
+    """Return True if *reg* is one of the hardwired zero registers."""
+    return reg in ZERO_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Render a register index as its assembly name (``r4``, ``f2``...)."""
+    if not 0 <= reg < NUM_ARCH_REGS:
+        raise ValueError(f"register index out of range: {reg}")
+    if is_fp_reg(reg):
+        return f"f{reg - FP_REG_BASE}"
+    return f"r{reg}"
+
+
+def parse_reg(token: str) -> int:
+    """Parse an assembly register name into its index.
+
+    Raises ``ValueError`` for anything that is not a valid register name.
+    """
+    token = token.strip().lower()
+    if len(token) < 2 or token[0] not in ("r", "f"):
+        raise ValueError(f"not a register name: {token!r}")
+    try:
+        number = int(token[1:], 10)
+    except ValueError:
+        raise ValueError(f"not a register name: {token!r}") from None
+    if not 0 <= number < NUM_INT_REGS:
+        raise ValueError(f"register number out of range: {token!r}")
+    if token[0] == "f":
+        return FP_REG_BASE + number
+    return number

@@ -1,0 +1,34 @@
+"""Out-of-order pipeline substrate: configuration, structures, driver.
+
+The pipeline follows the paper's Figure 1 base machine: a 12-stage
+out-of-order design with speculative scheduling and configurable recovery,
+evaluated at 4-wide and 8-wide (Table 1).
+"""
+
+from repro.pipeline.config import (
+    EIGHT_WIDE,
+    FOUR_WIDE,
+    FunctionalUnitPool,
+    Latencies,
+    MachineConfig,
+    RecoveryModel,
+    RegFileModel,
+    SchedulerModel,
+)
+from repro.pipeline.processor import Processor, SimulationResult, simulate
+from repro.pipeline.stats import SimStats
+
+__all__ = [
+    "EIGHT_WIDE",
+    "FOUR_WIDE",
+    "FunctionalUnitPool",
+    "Latencies",
+    "MachineConfig",
+    "RecoveryModel",
+    "RegFileModel",
+    "SchedulerModel",
+    "Processor",
+    "SimulationResult",
+    "simulate",
+    "SimStats",
+]

@@ -1,0 +1,67 @@
+"""Functional unit pool with per-cycle issue bandwidth and divider occupancy.
+
+ALUs, multipliers and memory ports are fully pipelined (one issue per unit
+per cycle); dividers are not pipelined — a divide occupies its unit for the
+whole operation, as in SimpleScalar's resource model.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass
+from repro.pipeline.config import FunctionalUnitPool, Latencies
+
+#: Non-pipelined operation classes (occupy the unit for the full latency).
+_NON_PIPELINED = (OpClass.INT_DIV, OpClass.FP_DIV)
+
+#: Map from op class to the pool it shares issue bandwidth with.
+_POOL_OF = {
+    OpClass.INT_ALU: "int_alu",
+    OpClass.BRANCH: "int_alu",
+    OpClass.JUMP: "int_alu",
+    OpClass.FP_ALU: "fp_alu",
+    OpClass.INT_MULT: "int_mult",
+    OpClass.INT_DIV: "int_mult",
+    OpClass.FP_MULT: "fp_mult",
+    OpClass.FP_DIV: "fp_mult",
+    OpClass.LOAD: "mem",
+    OpClass.STORE: "mem",
+}
+
+
+class FunctionalUnits:
+    """Tracks per-cycle issue counts and divider busy windows."""
+
+    def __init__(self, pool: FunctionalUnitPool, latencies: Latencies):
+        self._counts = {
+            "int_alu": pool.int_alu,
+            "fp_alu": pool.fp_alu,
+            "int_mult": pool.int_mult,
+            "fp_mult": pool.fp_mult,
+            "mem": pool.mem_ports,
+        }
+        self._lat = latencies
+        self._issued_this_cycle = {name: 0 for name in self._counts}
+        #: per pool: cycles at which busy (non-pipelined) units free up
+        self._busy_until: dict[str, list[int]] = {name: [] for name in self._counts}
+
+    def begin_cycle(self, now: int) -> None:
+        for name in self._issued_this_cycle:
+            self._issued_this_cycle[name] = 0
+            busy = self._busy_until[name]
+            if busy:
+                self._busy_until[name] = [c for c in busy if c > now]
+
+    # ------------------------------------------------------------------
+    def can_issue(self, op_class: OpClass, now: int) -> bool:
+        pool = _POOL_OF[op_class]
+        in_use = self._issued_this_cycle[pool] + len(self._busy_until[pool])
+        return in_use < self._counts[pool]
+
+    def issue(self, op_class: OpClass, now: int) -> None:
+        pool = _POOL_OF[op_class]
+        self._issued_this_cycle[pool] += 1
+        if op_class in _NON_PIPELINED:
+            self._busy_until[pool].append(now + self._lat.for_class(op_class))
+
+    def pool_size(self, op_class: OpClass) -> int:
+        return self._counts[_POOL_OF[op_class]]

@@ -1,0 +1,84 @@
+"""ASCII pipeline trace rendering (sim-outorder's ptrace, in spirit).
+
+Given a :class:`~repro.pipeline.processor.Processor` created with
+``record_schedule=True``, render a per-instruction timeline::
+
+    seq opcode   |  cycle 10        20
+      0 LDQ      |  D..I----C=====R
+      1 ADD      |  D....i..I-C===R
+
+Markers: ``D`` dispatch (scheduler insert), ``i`` a squashed (replayed)
+issue, ``I`` the final issue, ``C`` execution complete, ``R`` retire
+(commit), ``-`` in flight between issue and completion, ``=`` completed but
+waiting to retire, ``.`` waiting in the scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.pipeline.processor import Processor
+
+
+def render_pipetrace(
+    processor: Processor,
+    first_seq: int = 0,
+    count: int = 16,
+) -> str:
+    """Render the timelines of dynamic instructions [first_seq, +count)."""
+    if processor.trace is None:
+        raise SimulationError(
+            "pipetrace needs a Processor(record_schedule=True) run"
+        )
+    records = [
+        (seq, processor.trace[seq])
+        for seq in range(first_seq, first_seq + count)
+        if seq in processor.trace and "insert" in processor.trace[seq]
+    ]
+    if not records:
+        return "(no committed instructions in the requested range)"
+    start = min(record["insert"] for _, record in records)
+    end = max(record["commit"] for _, record in records)
+    span = end - start + 1
+    label_width = max(len(_label(seq, record)) for seq, record in records)
+    lines = [
+        f"{'instruction'.ljust(label_width)} | cycles {start}..{end}"
+    ]
+    for seq, record in records:
+        lines.append(f"{_label(seq, record).ljust(label_width)} | {_lane(record, start, span)}")
+    lines.append(
+        "legend: D dispatch, i squashed issue, I issue, C complete, R retire"
+    )
+    return "\n".join(lines)
+
+
+def _label(seq: int, record: dict) -> str:
+    opcode = record.get("opcode", "?")
+    return f"{seq:4d} {opcode}"
+
+
+def _lane(record: dict, start: int, span: int) -> str:
+    lane = [" "] * span
+    insert = record["insert"]
+    complete = record["complete"]
+    commit = record["commit"]
+    issue_list = record.get("issues", [])
+    final_issue = issue_list[-1] if issue_list else complete
+
+    def put(cycle: int, marker: str) -> None:
+        index = cycle - start
+        if 0 <= index < span:
+            lane[index] = marker
+
+    for cycle in range(insert, commit + 1):
+        put(cycle, ".")
+    for cycle in range(final_issue, complete):
+        put(cycle, "-")
+    for cycle in range(complete, commit):
+        put(cycle, "=")
+    put(insert, "D")
+    for squashed in issue_list[:-1]:
+        put(squashed, "i")
+    put(final_issue, "I")
+    put(complete, "C")
+    put(commit, "R")
+    return "".join(lane)

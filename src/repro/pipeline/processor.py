@@ -1,0 +1,734 @@
+"""Cycle-level out-of-order processor (the paper's Figure 1 base machine).
+
+The simulator is execution/trace-driven: it pulls a correct-path
+:class:`~repro.workloads.trace.DynOp` stream and models timing — fetch with
+branch prediction and IL1, dispatch/rename into an RUU-style window,
+atomic wakeup+select scheduling with **speculative load scheduling** and
+configurable replay, functional-unit and register-port constraints, and
+in-order commit.
+
+Scheduling timing convention: an instruction selected in cycle *t* with
+issue-to-use latency *L* broadcasts its destination tag in cycle *t + L*;
+consumers woken by that broadcast may be selected in the same cycle (atomic
+wakeup+select), so dependent issue distance equals *L* exactly, as in the
+paper's Figure 9/12 examples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.dependence_matrix import DependenceMatrix
+from repro.core.iq import EntryState, IQEntry, Operand
+from repro.core.last_arrival import (
+    DesignComparisonBank,
+    OperandSide,
+    ShadowPredictorBank,
+)
+from repro.core.scoreboard import Scoreboard
+from repro.core.select import Selector, select_priority
+from repro.core.wakeup import make_wakeup_logic
+from repro.errors import SimulationError
+from repro.frontend.branch_unit import BranchUnit
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import (
+    BypassModel,
+    MachineConfig,
+    RecoveryModel,
+    RenameModel,
+    SchedulerModel,
+)
+from repro.pipeline.fu import FunctionalUnits
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.regfile import RegisterFilePolicy
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.stats import SimStats
+from repro.workloads.trace import DynOp
+
+#: Abort if no instruction commits for this many cycles (deadlock guard).
+_WATCHDOG_CYCLES = 50_000
+
+
+class _Kill:
+    """A scheduled replay event (load miss or tag-elim misschedule)."""
+
+    __slots__ = ("root", "epoch", "window", "squash_root")
+
+    def __init__(self, root: IQEntry, epoch: int, window: tuple[int, int] | None, squash_root: bool):
+        self.root = root
+        self.epoch = epoch
+        self.window = window
+        self.squash_root = squash_root
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    config_name: str
+    workload_name: str
+    stats: SimStats
+    total_committed: int
+    total_cycles: int
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+class Processor:
+    """One simulated machine instance bound to one instruction feed."""
+
+    def __init__(
+        self,
+        feed,
+        config: MachineConfig,
+        shadow_sizes: tuple[int, ...] | None = None,
+        record_schedule: bool = False,
+    ):
+        self.config = config
+        self.feed = feed
+        self.stats = SimStats()
+        if shadow_sizes:
+            self.stats.shadow_bank = ShadowPredictorBank(shadow_sizes)
+            self.stats.design_bank = DesignComparisonBank()
+        self.scoreboard = Scoreboard()
+        self.wakeup = make_wakeup_logic(config)
+        self.selector = Selector(config.width)
+        self.fu = FunctionalUnits(config.fu, config.lat)
+        self.rf_policy = RegisterFilePolicy(config)
+        self.branch_unit = BranchUnit()
+        self.memory = MemoryHierarchy(config.mem)
+        self.rob = ReorderBuffer(config.ruu_size)
+        self.lsq = LoadStoreQueue(config.lsq_size)
+
+        self.now = 0
+        self._rename: dict[int, int | None] = {}
+        self._ready: dict[int, IQEntry] = {}
+        self._frontend: deque[tuple[int, DynOp]] = deque()  # (arrive_cycle, op)
+        self._predictions: dict[int, object] = {}
+
+        self._feed_iter = iter(feed)
+        self._next_op: DynOp | None = None
+        self._feed_done = False
+        self._fetch_stalled_until = 0
+        self._fetch_blocked_on: int | None = None
+        self._last_fetch_line = -1
+        self._pc_address = getattr(feed, "pc_address", lambda pc: pc * 4)
+
+        # Event calendars: cycle -> payload list.
+        self._broadcasts: dict[int, list] = {}
+        self._slow_wakeups: dict[int, list] = {}
+        self._completions: dict[int, list] = {}
+        self._kills: dict[int, list[_Kill]] = {}
+
+        self._total_committed = 0
+        self._last_commit_cycle = 0
+        self._non_selective = config.recovery is RecoveryModel.NON_SELECTIVE
+        self._half_rename = config.rename is RenameModel.HALF_PORTS
+        self._half_bypass = config.bypass is BypassModel.HALF
+        # Figure 5 dependence-matrix machinery (cross-checked vs cascade).
+        self._use_matrix = config.use_dependence_matrix
+        self._matrix_depth = config.exec_offset + config.load_spec_window + 2
+        self._active_kill_bit: tuple[int, int] | None = None
+        self.matrix_mismatches = 0
+        #: per-seq timing trace (tests and debugging): seq -> event dict
+        self.trace: dict[int, dict] | None = {} if record_schedule else None
+
+    # ==================================================================
+    # Main loop.
+    # ==================================================================
+    def run(self, max_insts: int, warmup: int = 0) -> SimulationResult:
+        """Simulate until *max_insts* instructions commit after warmup."""
+        measured_started = warmup == 0
+        budget = max_insts + warmup
+        while True:
+            self.now += 1
+            self._process_events()
+            self._select_and_issue()
+            self._dispatch()
+            self._fetch()
+            self._commit()
+            self.stats.cycles += 1
+            if not measured_started and self._total_committed >= warmup:
+                self.stats.reset_window()
+                measured_started = True
+            if self._total_committed >= budget:
+                break
+            if self._feed_done and self.rob.empty and not self._frontend:
+                break
+            if self.now - self._last_commit_cycle > _WATCHDOG_CYCLES:
+                raise SimulationError(
+                    f"no commit for {_WATCHDOG_CYCLES} cycles at cycle {self.now} "
+                    f"(head={self.rob.head()!r})"
+                )
+        return SimulationResult(
+            config_name=self.config.name,
+            workload_name=getattr(self.feed, "name", "workload"),
+            stats=self.stats,
+            total_committed=self._total_committed,
+            total_cycles=self.now,
+        )
+
+    # ==================================================================
+    # Phase 1: event delivery (kills, wakeups, completions).
+    # ==================================================================
+    def _process_events(self) -> None:
+        now = self.now
+        for kill in self._kills.pop(now, ()):
+            self._process_kill(kill)
+        for entry, op_index, tag in self._slow_wakeups.pop(now, ()):
+            self._deliver_slow(entry, op_index, tag)
+        for entry, epoch, data_valid in self._broadcasts.pop(now, ()):
+            if entry.epoch == epoch:
+                self._broadcast(entry, data_valid)
+        for entry, epoch in self._completions.pop(now, ()):
+            if entry.epoch == epoch and entry.state is EntryState.ISSUED:
+                self._complete(entry)
+
+    def _broadcast_matrix(self, producer: IQEntry) -> DependenceMatrix:
+        """Figure 5 bus payload: ancestors of *producer*, plus itself."""
+        payload = DependenceMatrix(self._matrix_depth)
+        for operand in producer.operands:
+            if operand.matrix is not None:
+                payload.merge(operand.matrix)
+        payload.add_ancestor(producer.issue_cycle, producer.slot)
+        payload.prune(self.now)
+        return payload
+
+    def _operand_has_comparator(self, entry: IQEntry, operand: Operand) -> bool:
+        """Does this operand observe the bus (and thus receive matrices)?
+
+        Under tag elimination the non-predicted operand's comparator is
+        removed — the exact reason the paper gives for its incompatibility
+        with selective recovery (Section 3.1).
+        """
+        if self.config.scheduler is not SchedulerModel.TAG_ELIM:
+            return True
+        if not entry.is_two_source:
+            return True
+        return operand.side is entry.fast_side
+
+    def _broadcast(self, producer: IQEntry, data_valid: bool) -> None:
+        """Deliver a destination-tag broadcast to all registered consumers."""
+        now = self.now
+        tag = producer.tag
+        self.scoreboard.mark_broadcast(tag, now)
+        if data_valid:
+            self.scoreboard.mark_data(tag, now)
+        record = self.scoreboard.get(tag)
+        if record is None:
+            return
+        if self._use_matrix:
+            record.matrix_payload = self._broadcast_matrix(producer)
+        for entry, op_index in record.consumers:
+            if op_index < 0:
+                if entry.mem_dep_tag == tag and not entry.mem_dep_ready:
+                    entry.mem_dep_ready = True
+                    self._maybe_ready(entry)
+                continue
+            operand = entry.operands[op_index]
+            if operand.tag != tag:
+                continue
+            if operand.arrival_cycle is None:
+                operand.arrival_cycle = now
+                self._maybe_record_wakeup_pair(entry)
+            if operand.ready:
+                continue
+            delay = self.wakeup.delivery_delay(entry, operand)
+            if delay == 0:
+                operand.wake(now)
+                if self._use_matrix and self._operand_has_comparator(entry, operand):
+                    operand.matrix = record.matrix_payload
+                self._maybe_ready(entry)
+            else:
+                self._slow_wakeups.setdefault(now + delay, []).append(
+                    (entry, op_index, tag)
+                )
+
+    def _deliver_slow(self, entry: IQEntry, op_index: int, tag: int) -> None:
+        """Slow-bus delivery, one cycle after the fast broadcast.
+
+        Slow-side operands still observe the full bus payload — this is the
+        paper's point that sequential wakeup stays compatible with
+        selective recovery.
+        """
+        operand = entry.operands[op_index]
+        if operand.ready or operand.tag != tag:
+            return
+        if not self.scoreboard.is_valid(tag):
+            return  # the broadcast was invalidated in the meantime
+        operand.wake(self.now)
+        if self._use_matrix:
+            record = self.scoreboard.get(tag)
+            if record is not None:
+                operand.matrix = record.matrix_payload
+        self._maybe_ready(entry)
+
+    def _maybe_record_wakeup_pair(self, entry: IQEntry) -> None:
+        """Record wakeup-order data once the last operand has arrived.
+
+        2-pending entries feed the Figure 6 / Table 3 statistics and train
+        the last-arriving predictor.  Entries with one operand ready at
+        insert train the predictor only: their pending operand is by
+        definition last-arriving, which is exactly what the hardware's
+        last-tag history observes.
+        """
+        if entry.stat_wakeup_recorded or not entry.is_two_source:
+            return
+        if entry.stat_ready_at_insert == 1:
+            pending = [o for o in entry.operands if not o.ready_at_insert]
+            if not pending or pending[0].arrival_cycle is None:
+                return
+            entry.stat_wakeup_recorded = True
+            last_side = pending[0].side
+            self.stats.last_arrival_predictions += 1
+            if entry.predicted_last is not last_side:
+                self.stats.last_arrival_mispredictions += 1
+            if self.stats.design_bank is not None:
+                self.stats.design_bank.observe(entry.op.pc, last_side)
+            self.wakeup.train(entry, last_side)
+            return
+        if not entry.is_two_pending:
+            return
+        arrivals = [operand.arrival_cycle for operand in entry.operands]
+        if any(cycle is None for cycle in arrivals):
+            return
+        entry.stat_wakeup_recorded = True
+        slack = abs(arrivals[0] - arrivals[1])
+        if slack == 0:
+            last_side: OperandSide | None = None
+            self.stats.simultaneous_wakeups += 1
+        else:
+            last_index = 0 if arrivals[0] > arrivals[1] else 1
+            last_side = entry.operands[last_index].side
+        self.stats.record_wakeup_pair(entry.op.pc, slack, last_side)
+        if self.stats.design_bank is not None:
+            self.stats.design_bank.observe(entry.op.pc, last_side)
+        if last_side is not None:
+            self.stats.last_arrival_predictions += 1
+            if entry.predicted_last is not last_side:
+                self.stats.last_arrival_mispredictions += 1
+        self.wakeup.train(entry, last_side)
+
+    def _complete(self, entry: IQEntry) -> None:
+        entry.state = EntryState.COMPLETED
+        entry.complete_cycle = self.now
+        if entry.op.is_control:
+            self._resolve_branch(entry)
+
+    # ==================================================================
+    # Phase 2: wakeup/select (atomic) — issue.
+    # ==================================================================
+    def _select_and_issue(self) -> None:
+        now = self.now
+        self.selector.begin_cycle()
+        self.fu.begin_cycle(now)
+        self.rf_policy.begin_cycle()
+        if not self._ready:
+            return
+        candidates = sorted(self._ready.values(), key=select_priority)
+        for entry in candidates:
+            if self.selector.available_slots <= 0:
+                break
+            if entry.state is not EntryState.WAITING or entry.eligible_cycle > now:
+                continue
+            if not self.wakeup.entry_ready(entry):
+                # Stale ready-set entry (e.g. un-woken by a replay).
+                self._ready.pop(entry.tag, None)
+                entry.in_ready = False
+                continue
+            op_class = entry.op.op_class
+            if not self.fu.can_issue(op_class, now):
+                continue
+            if not self.rf_policy.try_reserve(entry, now):
+                continue
+            seq_access = self.rf_policy.decide_sequential_access(entry, now)
+            slot = self.selector.take_slot(bubble_next=seq_access)
+            self.fu.issue(op_class, now)
+            self._issue(entry, seq_access, slot)
+
+    def _issue(self, entry: IQEntry, seq_access: bool, slot: int = 0) -> None:
+        now = self.now
+        self._ready.pop(entry.tag, None)
+        entry.in_ready = False
+        entry.state = EntryState.ISSUED
+        entry.issue_cycle = now
+        entry.epoch += 1
+        entry.seq_reg_access = seq_access
+        entry.slot = slot
+        self.stats.issued += 1
+        self._record_issue_stats(entry, seq_access)
+        if self.trace is not None:
+            record = self.trace.setdefault(entry.tag, {"issues": []})
+            record["issues"].append(now)
+            record["seq_reg_access"] = seq_access
+            record["opcode"] = entry.op.opcode
+            record["pc"] = entry.op.pc
+
+        if not self.wakeup.verify_at_issue(entry, self.scoreboard, now):
+            # Tag elimination misschedule: scoreboard flags it after the
+            # detection delay; the replay window covers everything issued
+            # in the shadow, the mis-issued instruction included.
+            detect = self.config.tag_elim_detect_delay
+            self.stats.tag_elim_misschedules += 1
+            self._kills.setdefault(now + detect, []).append(
+                _Kill(entry, entry.epoch, (now, now + detect - 1), squash_root=True)
+            )
+
+        if entry.op.is_load:
+            self._issue_load(entry)
+            return
+        latency = self.config.lat.for_class(entry.op.op_class)
+        if seq_access:
+            latency += 1
+            self.stats.sequential_rf_accesses += 1
+        if self._half_bypass and len(entry.operands) == 2:
+            # Half-price bypass (Section 6 extension): only one value can
+            # be caught off the bypass per cycle; a double catch latches
+            # one operand and starts execution a cycle later.
+            if all(operand.woke_now(now) for operand in entry.operands):
+                latency += 1
+                self.stats.double_bypass_delays += 1
+        self._broadcasts.setdefault(now + latency, []).append(
+            (entry, entry.epoch, True)
+        )
+        self._completions.setdefault(
+            now + self.config.exec_offset + latency, []
+        ).append((entry, entry.epoch))
+
+    def _issue_load(self, entry: IQEntry) -> None:
+        now = self.now
+        config = self.config
+        assumed = config.assumed_load_latency
+        if entry.mem_fill_cycle is None:
+            # First issue: perform the cache access.  The fill stays in
+            # flight even if this load is later squashed (MSHR semantics):
+            # a replayed issue re-uses the fill time instead of touching
+            # the cache again, so replays never act as self-prefetches.
+            if entry.forwarded:
+                actual_mem = config.mem.dl1_latency  # store queue data
+            else:
+                actual_mem = self.memory.load(entry.op.mem_addr).latency
+            entry.mem_fill_cycle = now + config.lat.agen + actual_mem
+        fill = max(entry.mem_fill_cycle, now + assumed)
+        completion = fill + config.exec_offset - config.lat.agen
+        if fill <= now + assumed:
+            # Data arrives within the assumed-hit schedule.
+            self._broadcasts.setdefault(now + assumed, []).append(
+                (entry, entry.epoch, True)
+            )
+            self._completions.setdefault(completion, []).append((entry, entry.epoch))
+            return
+        # Latency misprediction: speculative broadcast at the assumed-hit
+        # time, kill after the resolution shadow, real broadcast at fill.
+        self._broadcasts.setdefault(now + assumed, []).append(
+            (entry, entry.epoch, False)
+        )
+        kill_cycle = now + assumed + config.load_spec_window
+        window = (now + assumed, kill_cycle - 1)
+        self._kills.setdefault(kill_cycle, []).append(
+            _Kill(entry, entry.epoch, window if self._non_selective else None,
+                  squash_root=False)
+        )
+        # A re-issued load's in-flight fill can land inside the kill shadow;
+        # the re-broadcast must follow the kill or it would be invalidated.
+        rebroadcast = max(fill, kill_cycle + 1)
+        self._broadcasts.setdefault(rebroadcast, []).append((entry, entry.epoch, True))
+        self._completions.setdefault(
+            max(completion, rebroadcast), []
+        ).append((entry, entry.epoch))
+
+    def _record_issue_stats(self, entry: IQEntry, seq_access: bool) -> None:
+        now = self.now
+        if entry.is_two_source:
+            if all(operand.ready_at_insert for operand in entry.operands):
+                entry.rf_category = "two_ready"
+            elif any(operand.woke_now(now) for operand in entry.operands):
+                entry.rf_category = "back_to_back"
+            else:
+                entry.rf_category = "non_back_to_back"
+            if self.config.scheduler is SchedulerModel.SEQ_WAKEUP:
+                slow = entry.operand_on(entry.fast_side.other)
+                if slow is not None and slow.ready_cycle == now and not slow.ready_at_insert:
+                    self.stats.seq_wakeup_slow_initiations += 1
+
+    # ==================================================================
+    # Replay machinery.
+    # ==================================================================
+    def _process_kill(self, kill: _Kill) -> None:
+        if kill.root.epoch != kill.epoch:
+            return  # the root was itself squashed; this shadow is void
+        if not kill.squash_root:
+            self.stats.load_miss_replays += 1
+        if self._use_matrix and not kill.squash_root and kill.window is None:
+            # Selective recovery kill: the kill bus names the faulty issue
+            # (row = pipeline bottom, column = slot) — cross-check every
+            # cascade invalidation against the Figure 5 matrices.
+            self._active_kill_bit = (kill.root.issue_cycle, kill.root.slot)
+        self._invalidate_tag(kill.root.tag)
+        self._active_kill_bit = None
+        if kill.squash_root and kill.root.state is EntryState.ISSUED:
+            self._squash(kill.root)
+        if kill.window is not None:
+            start, end = kill.window
+            for entry in self.rob:
+                if (
+                    entry.state is EntryState.ISSUED
+                    and entry is not kill.root
+                    and start <= entry.issue_cycle <= end
+                ):
+                    self._squash(entry)
+
+    def _invalidate_tag(self, tag: int) -> None:
+        """Invalidate a broadcast and cascade through its consumers."""
+        for entry, op_index in self.scoreboard.invalidate(tag):
+            if op_index < 0:
+                if entry.mem_dep_tag == tag and entry.mem_dep_ready:
+                    entry.mem_dep_ready = False
+                    if entry.state is EntryState.ISSUED:
+                        self._squash(entry)
+                continue
+            operand = entry.operands[op_index]
+            if operand.ready and operand.tag == tag:
+                if self._active_kill_bit is not None:
+                    matched = operand.matrix is not None and operand.matrix.matches(
+                        *self._active_kill_bit
+                    )
+                    if not matched:
+                        # The matrix missed an operand the cascade caught:
+                        # this operand never saw the dependence broadcast
+                        # (e.g. an eliminated comparator).
+                        self.matrix_mismatches += 1
+                operand.unwake()
+                if entry.state is EntryState.ISSUED:
+                    self._squash(entry)
+                elif entry.in_ready:
+                    self._ready.pop(entry.tag, None)
+                    entry.in_ready = False
+
+    def _squash(self, entry: IQEntry) -> None:
+        """Pull an issued instruction back into the scheduler."""
+        self.stats.replayed += 1
+        entry.reset_for_replay(self.scoreboard.is_valid)
+        entry.epoch += 1
+        entry.eligible_cycle = self.now + 1
+        self._invalidate_tag(entry.tag)
+        self._maybe_ready(entry)
+
+    # ==================================================================
+    # Phase 3: dispatch (rename + scheduler insert).
+    # ==================================================================
+    def _dispatch(self) -> None:
+        now = self.now
+        dispatched = 0
+        # Half-price rename (Section 6 extension): one source-lookup port
+        # per dispatch slot; a 2-source instruction consumes two tokens.
+        rename_tokens = self.config.width if self._half_rename else None
+        while (
+            self._frontend
+            and self._frontend[0][0] <= now
+            and dispatched < self.config.width
+        ):
+            arrive, op = self._frontend[0]
+            if self.rob.full:
+                break
+            if (op.is_load or op.is_store) and self.lsq.full:
+                break
+            if rename_tokens is not None and not op.is_eliminated_nop:
+                needed = max(1, len(op.sched_deps))
+                if needed > rename_tokens:
+                    self.stats.rename_port_stalls += 1
+                    break
+                rename_tokens -= needed
+            self._frontend.popleft()
+            self._insert(op)
+            dispatched += 1
+
+    def _insert(self, op: DynOp) -> None:
+        now = self.now
+        tag = op.seq
+        if op.is_eliminated_nop:
+            entry = IQEntry(op, tag, [], insert_cycle=now)
+            entry.state = EntryState.COMPLETED
+            self.rob.push(entry)
+            self.stats.record_dispatch(False, 0)
+            return
+        operands = self._rename_sources(op, tag)
+        entry = IQEntry(op, tag, operands, insert_cycle=now)
+        self.scoreboard.allocate(tag, entry)
+        for index, operand in enumerate(operands):
+            if operand.tag is not None:
+                self.scoreboard.add_consumer(operand.tag, entry, index)
+        if op.dest is not None:
+            self._rename[op.dest] = tag
+        self.wakeup.assign_sides(entry)
+        self.rob.push(entry)
+        if op.is_load or op.is_store:
+            if op.is_load:
+                self._setup_load_forwarding(entry)
+            self.lsq.insert(entry)
+        self.stats.record_dispatch(entry.is_two_source, entry.stat_ready_at_insert)
+        self._maybe_ready(entry)
+
+    def _rename_sources(self, op: DynOp, consumer_tag: int) -> list[Operand]:
+        operands: list[Operand] = []
+        for position, arch in enumerate(op.sched_deps):
+            side = OperandSide.LEFT if position == 0 else OperandSide.RIGHT
+            producer_tag = self._rename.get(arch)
+            if producer_tag is None:
+                # Architectural value: the producer has committed.
+                operands.append(Operand(None, side))
+                continue
+            record = self.scoreboard.get(producer_tag)
+            if record is None:
+                operands.append(Operand(None, side))
+                continue
+            if record.valid and record.broadcast_cycle is not None and (
+                record.broadcast_cycle <= self.now
+            ):
+                # Ready bit set at insert; the producer may still be
+                # squashed later, so the tag reference is kept for the
+                # invalidation cascade.
+                operand = Operand(None, side)
+                operand.tag = producer_tag
+                if self._use_matrix:
+                    operand.matrix = record.matrix_payload
+            else:
+                operand = Operand(producer_tag, side)
+            operands.append(operand)
+        return operands
+
+    def _setup_load_forwarding(self, entry: IQEntry) -> None:
+        store = self.lsq.forwarding_store(entry)
+        if store is None:
+            return
+        entry.forwarded = True
+        if not self.lsq.store_agen_done(store):
+            entry.mem_dep_tag = store.tag
+            entry.mem_dep_ready = False
+            self.scoreboard.add_consumer(store.tag, entry, -1)
+
+    def _maybe_ready(self, entry: IQEntry) -> None:
+        if (
+            entry.state is EntryState.WAITING
+            and not entry.in_ready
+            and entry.mem_dep_ready
+            and self.wakeup.entry_ready(entry)
+        ):
+            entry.in_ready = True
+            self._ready[entry.tag] = entry
+
+    # ==================================================================
+    # Phase 4: fetch.
+    # ==================================================================
+    def _fetch(self) -> None:
+        now = self.now
+        if (
+            self._feed_done
+            or self._fetch_blocked_on is not None
+            or now < self._fetch_stalled_until
+        ):
+            return
+        fetched = 0
+        while fetched < self.config.width:
+            op = self._peek_feed()
+            if op is None:
+                return
+            line = self.memory.il1.line_address(self._pc_address(op.pc))
+            if line != self._last_fetch_line:
+                result = self.memory.fetch(self._pc_address(op.pc))
+                self._last_fetch_line = line
+                if result.is_miss:
+                    self._fetch_stalled_until = now + result.latency
+                    return
+            self._consume_feed()
+            self.stats.fetched += 1
+            fetched += 1
+            self._frontend.append((now + self.config.front_depth, op))
+            if op.is_control and self._fetch_control(op):
+                return
+
+    def _fetch_control(self, op: DynOp) -> bool:
+        """Predict a control instruction; return True if fetch must stop."""
+        prediction = self.branch_unit.predict(op.pc, op.opcode, op.static_target)
+        self._predictions[op.seq] = prediction
+        predicted_next = prediction.next_pc(op.pc + 1)
+        if predicted_next != op.next_pc:
+            # Misprediction: fetch stalls until the branch resolves.
+            self._fetch_blocked_on = op.seq
+            return True
+        # Correct prediction: fetch stops at the first taken branch.
+        return bool(prediction.predicted_taken)
+
+    def _resolve_branch(self, entry: IQEntry) -> None:
+        op = entry.op
+        prediction = self._predictions.pop(op.seq, None)
+        if prediction is None:
+            return
+        self.stats.branches += 1
+        mispredicted = self.branch_unit.resolve(
+            op.pc, op.opcode, prediction, op.taken, op.next_pc, fallthrough=op.pc + 1
+        )
+        if mispredicted:
+            self.stats.branch_mispredicts += 1
+        if self._fetch_blocked_on == op.seq:
+            self._fetch_blocked_on = None
+            self._fetch_stalled_until = max(self._fetch_stalled_until, self.now + 1)
+            self._last_fetch_line = -1
+
+    def _peek_feed(self) -> DynOp | None:
+        if self._next_op is None and not self._feed_done:
+            try:
+                self._next_op = next(self._feed_iter)
+            except StopIteration:
+                self._feed_done = True
+        return self._next_op
+
+    def _consume_feed(self) -> None:
+        self._next_op = None
+
+    # ==================================================================
+    # Phase 5: commit.
+    # ==================================================================
+    def _commit(self) -> None:
+        committed = 0
+        while committed < self.config.width and self.rob.committable():
+            entry = self.rob.commit_head()
+            op = entry.op
+            if op.is_store:
+                self.memory.store(op.mem_addr)
+                self.lsq.remove(entry)
+            elif op.is_load:
+                self.lsq.remove(entry)
+            if op.dest is not None and self._rename.get(op.dest) == entry.tag:
+                self._rename[op.dest] = None
+            self.scoreboard.free(entry.tag)
+            if entry.rf_category is not None:
+                self.stats.record_rf_category(entry.rf_category)
+            if self.trace is not None:
+                record = self.trace.setdefault(entry.tag, {"issues": []})
+                record["insert"] = entry.insert_cycle
+                record["complete"] = entry.complete_cycle
+                record["commit"] = self.now
+                record["replays"] = entry.replays
+                record["rf_category"] = entry.rf_category
+                record["opcode"] = entry.op.opcode
+                record["pc"] = entry.op.pc
+            self.stats.committed += 1
+            self._total_committed += 1
+            self._last_commit_cycle = self.now
+            committed += 1
+
+
+def simulate(
+    feed,
+    config: MachineConfig,
+    max_insts: int = 15_000,
+    warmup: int = 15_000,
+    shadow_sizes: tuple[int, ...] | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Processor` and run it."""
+    processor = Processor(feed, config, shadow_sizes=shadow_sizes)
+    return processor.run(max_insts=max_insts, warmup=warmup)

@@ -1,0 +1,50 @@
+"""Reorder buffer: in-order dispatch and commit bookkeeping.
+
+The RUU of the paper's SimpleScalar substrate combines the reorder buffer
+and scheduler window; here the :class:`ReorderBuffer` handles program-order
+retirement while the scheduler tracks the same entries for wakeup/select.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.iq import EntryState, IQEntry
+
+
+class ReorderBuffer:
+    """Fixed-capacity FIFO of in-flight instructions."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: deque[IQEntry] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry: IQEntry) -> None:
+        if self.full:
+            raise OverflowError("ROB overflow: dispatch must check capacity")
+        self._entries.append(entry)
+
+    def head(self) -> IQEntry | None:
+        return self._entries[0] if self._entries else None
+
+    def commit_head(self) -> IQEntry:
+        return self._entries.popleft()
+
+    def committable(self) -> bool:
+        """True if the head instruction has completed execution."""
+        head = self.head()
+        return head is not None and head.state is EntryState.COMPLETED
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,328 @@
+"""Hand-written HPRISC assembly kernels.
+
+These small programs are real, executable workloads (via the functional
+emulator) used by the examples and the execution-driven integration tests.
+Each kernel is a function of a size parameter returning assembly source.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Program, assemble
+
+
+def vector_sum(n: int = 256) -> str:
+    """Sum n sequential memory words into r1 (streaming loads)."""
+    return f"""
+    ; r1 = sum of {n} words starting at 4096
+        LDI  r1, 0          ; accumulator
+        LDI  r2, 4096       ; pointer
+        LDI  r3, {n}        ; remaining
+    loop:
+        LDQ  r4, 0(r2)
+        ADD  r1, r1, r4
+        ADD  r2, r2, #8
+        SUB  r3, r3, #1
+        BNE  r3, loop
+        HALT
+    """
+
+
+def fibonacci(n: int = 30) -> str:
+    """Iterative Fibonacci; serial dependence chain (low ILP)."""
+    return f"""
+    ; r1 = fib({n})
+        LDI  r1, 1          ; fib(k)
+        LDI  r2, 0          ; fib(k-1)
+        LDI  r3, {n - 1}    ; remaining iterations
+    loop:
+        ADD  r4, r1, r2     ; 2-source instruction on the critical path
+        MOV  r2, r1
+        MOV  r1, r4
+        SUB  r3, r3, #1
+        BNE  r3, loop
+        HALT
+    """
+
+
+def memcpy_words(n: int = 128) -> str:
+    """Copy n words from 4096 to 16384 (load/store pairs)."""
+    return f"""
+        LDI  r2, 4096       ; src
+        LDI  r3, 16384      ; dst
+        LDI  r4, {n}
+    loop:
+        LDQ  r5, 0(r2)
+        STQ  r5, 0(r3)
+        ADD  r2, r2, #8
+        ADD  r3, r3, #8
+        SUB  r4, r4, #1
+        BNE  r4, loop
+        HALT
+    """
+
+
+def pointer_chase(n: int = 64, stride: int = 1024) -> str:
+    """Build a linked list then traverse it (serialized load chain).
+
+    Each node is one word holding the address of the next node; the
+    traversal is the mcf-style pathological case for speculative
+    scheduling.
+    """
+    return f"""
+    ; build: node[i] at 8192 + i*{stride} points to node[i+1]
+        LDI  r2, 8192
+        LDI  r3, {n}
+    build:
+        ADD  r4, r2, #{stride}
+        STQ  r4, 0(r2)
+        MOV  r2, r4
+        SUB  r3, r3, #1
+        BNE  r3, build
+        STQ  r31, 0(r2)     ; terminate list with null
+    ; traverse
+        LDI  r2, 8192
+        LDI  r1, 0
+    chase:
+        LDQ  r2, 0(r2)      ; pointer-chase load
+        BEQ  r2, done       ; null terminator reached
+        ADD  r1, r1, #1
+        BR   chase
+    done:
+        HALT
+    """
+
+
+def dotproduct(n: int = 128) -> str:
+    """Two-source-heavy kernel: elementwise multiply-accumulate."""
+    return f"""
+        LDI  r1, 0          ; accumulator
+        LDI  r2, 4096       ; a[]
+        LDI  r3, 32768      ; b[]
+        LDI  r4, {n}
+    loop:
+        LDQ  r5, 0(r2)
+        LDQ  r6, 0(r3)
+        MUL  r7, r5, r6     ; 2-source multiply
+        ADD  r1, r1, r7     ; 2-source accumulate
+        ADD  r2, r2, #8
+        ADD  r3, r3, #8
+        SUB  r4, r4, #1
+        BNE  r4, loop
+        HALT
+    """
+
+
+def branchy_max(n: int = 200) -> str:
+    """Data-dependent branches: running max over a pseudo-random array.
+
+    The array is generated with an in-register LCG so the comparison
+    branch is hard to predict.
+    """
+    return f"""
+        LDI  r1, 0          ; current max
+        LDI  r2, 12345      ; LCG state
+        LDI  r3, {n}
+        LDI  r6, 1103515245
+        LDI  r7, 12345
+    loop:
+        MUL  r2, r2, r6
+        ADD  r2, r2, r7
+        SRL  r4, r2, #16
+        AND  r4, r4, #1023  ; value in [0, 1023]
+        SUB  r5, r4, r1
+        BLT  r5, skip       ; if value < max, skip the update
+        MOV  r1, r4
+    skip:
+        SUB  r3, r3, #1
+        BNE  r3, loop
+        HALT
+    """
+
+
+def call_tree(depth: int = 6, rounds: int = 20) -> str:
+    """Repeated JSR/RET call chains exercising the return address stack."""
+    body = [
+        "    LDI r1, 0",
+        f"    LDI r9, {rounds}",
+        "round:",
+    ]
+    for level in range(depth):
+        body += [
+            f"    LDI r5, L{level}",
+            f"    JSR r{16 + (level % 4)}, (r5)",
+        ]
+    body += [
+        "    SUB r9, r9, #1",
+        "    BNE r9, round",
+        "    HALT",
+    ]
+    for level in range(depth):
+        body += [
+            f"L{level}:",
+            "    ADD r1, r1, #1",
+            f"    RET (r{16 + (level % 4)})",
+        ]
+    return "\n".join(body)
+
+
+def bubble_sort(n: int = 32) -> str:
+    """Bubble-sort an LCG-filled array (data-dependent branches + swaps)."""
+    return f"""
+    ; fill a[0..{n}) at 4096 with LCG values, then bubble sort ascending
+        LDI  r2, 4096
+        LDI  r3, {n}
+        LDI  r4, 12345
+        LDI  r6, 1103515245
+        LDI  r7, 12345
+    fill:
+        MUL  r4, r4, r6
+        ADD  r4, r4, r7
+        SRL  r5, r4, #13
+        AND  r5, r5, #8191
+        STQ  r5, 0(r2)
+        ADD  r2, r2, #8
+        SUB  r3, r3, #1
+        BNE  r3, fill
+    ; outer loop: i = n-1 .. 1
+        LDI  r10, {n - 1}
+    outer:
+        LDI  r2, 4096       ; p = &a[0]
+        MOV  r11, r10       ; j = i
+    inner:
+        LDQ  r12, 0(r2)
+        LDQ  r13, 8(r2)
+        SUB  r14, r13, r12
+        BGE  r14, noswap    ; already ordered
+        STQ  r13, 0(r2)
+        STQ  r12, 8(r2)
+    noswap:
+        ADD  r2, r2, #8
+        SUB  r11, r11, #1
+        BNE  r11, inner
+        SUB  r10, r10, #1
+        BNE  r10, outer
+        HALT
+    """
+
+
+def matmul(n: int = 8) -> str:
+    """Naive n x n integer matrix multiply (nested loops, MUL+ADD chains).
+
+    A at 4096, B at 16384, C at 28672; element (i,j) of each is at
+    base + (i*n + j)*8.
+    """
+    return f"""
+        LDI  r10, 0          ; i
+    iloop:
+        LDI  r11, 0          ; j
+    jloop:
+        LDI  r1, 0           ; acc
+        LDI  r12, 0          ; k
+    kloop:
+        ; r2 = &A[i*n + k]
+        MUL  r3, r10, #{n}
+        ADD  r3, r3, r12
+        SLL  r3, r3, #3
+        ADD  r2, r3, #4096
+        LDQ  r4, 0(r2)
+        ; r5 = &B[k*n + j]
+        MUL  r6, r12, #{n}
+        ADD  r6, r6, r11
+        SLL  r6, r6, #3
+        ADD  r5, r6, #16384
+        LDQ  r7, 0(r5)
+        MUL  r8, r4, r7
+        ADD  r1, r1, r8
+        ADD  r12, r12, #1
+        CMPLT r9, r12, #{n}
+        BNE  r9, kloop
+        ; C[i*n + j] = acc
+        MUL  r3, r10, #{n}
+        ADD  r3, r3, r11
+        SLL  r3, r3, #3
+        ADD  r2, r3, #28672
+        STQ  r1, 0(r2)
+        ADD  r11, r11, #1
+        CMPLT r9, r11, #{n}
+        BNE  r9, jloop
+        ADD  r10, r10, #1
+        CMPLT r9, r10, #{n}
+        BNE  r9, iloop
+        HALT
+    """
+
+
+def hash_probe(n: int = 200, table_bits: int = 10) -> str:
+    """Hash-table probing: LCG keys hashed into a table (random access)."""
+    mask = (1 << table_bits) - 1
+    return f"""
+    ; count LCG keys whose table slot is non-zero (cold table: all zero),
+    ; writing each probed slot afterwards (warming it for later keys)
+        LDI  r1, 0           ; hits
+        LDI  r2, 98765       ; LCG state
+        LDI  r3, {n}
+        LDI  r6, 1103515245
+        LDI  r7, 12345
+        LDI  r8, 65536       ; table base
+    probe:
+        MUL  r2, r2, r6
+        ADD  r2, r2, r7
+        SRL  r4, r2, #9
+        AND  r4, r4, #{mask} ; slot index
+        SLL  r4, r4, #3
+        ADD  r4, r4, r8      ; slot address
+        LDQ  r5, 0(r4)
+        BEQ  r5, miss
+        ADD  r1, r1, #1
+    miss:
+        STQ  r2, 0(r4)       ; insert key
+        SUB  r3, r3, #1
+        BNE  r3, probe
+        HALT
+    """
+
+
+def memscan(n: int = 256, needle: int = 77) -> str:
+    """Scan memory words for a sentinel value (streaming + early exit)."""
+    return f"""
+    ; plant the needle at the end, then scan for it
+        LDI  r2, 4096
+        LDI  r3, {needle}
+        STQ  r3, {8 * (n - 1)}(r2)
+        LDI  r1, 0           ; index
+    scan:
+        LDQ  r4, 0(r2)
+        SUB  r5, r4, r3
+        BEQ  r5, found
+        ADD  r2, r2, #8
+        ADD  r1, r1, #1
+        BR   scan
+    found:
+        HALT
+    """
+
+
+#: Registry of kernels: name -> (source factory, default kwargs).
+KERNELS = {
+    "vector_sum": vector_sum,
+    "fibonacci": fibonacci,
+    "memcpy": memcpy_words,
+    "pointer_chase": pointer_chase,
+    "dotproduct": dotproduct,
+    "branchy_max": branchy_max,
+    "call_tree": call_tree,
+    "bubble_sort": bubble_sort,
+    "matmul": matmul,
+    "hash_probe": hash_probe,
+    "memscan": memscan,
+}
+
+
+def kernel_source(name: str, **kwargs) -> str:
+    """Assembly source of the named kernel."""
+    return KERNELS[name](**kwargs)
+
+
+def kernel_program(name: str, **kwargs) -> Program:
+    """Assembled :class:`Program` of the named kernel."""
+    return assemble(kernel_source(name, **kwargs))

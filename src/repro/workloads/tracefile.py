@@ -1,0 +1,154 @@
+"""Trace files: persist DynOp streams and replay them later.
+
+The format is line-oriented text (optionally gzip-compressed by file
+extension): a header line, then one record per dynamic instruction::
+
+    #repro-trace v1 name=<workload name>
+    pc opcode dest srcs deps store_data mem_addr taken next_pc target flags
+
+Empty fields are ``-``; ``srcs``/``deps`` are comma-joined register
+numbers; ``flags`` is a letter set (``F`` two-source-format, ``N``
+eliminated nop).  Saving a synthetic workload lets experiments decouple
+generation from simulation and ship reproducible inputs.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from typing import Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.isa.opcodes import OPCODE_BY_NAME
+from repro.workloads.feed import collect_stream
+from repro.workloads.trace import DynOp
+
+_HEADER_PREFIX = "#repro-trace v1"
+
+
+class TraceFileError(ReproError):
+    """Raised on malformed trace files."""
+
+
+def _open(path: str, mode: str):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def _encode_regs(regs: tuple[int, ...]) -> str:
+    return ",".join(str(r) for r in regs) if regs else "-"
+
+
+def _decode_regs(field: str) -> tuple[int, ...]:
+    return () if field == "-" else tuple(int(r) for r in field.split(","))
+
+
+def _encode_opt(value) -> str:
+    return "-" if value is None else str(value)
+
+
+def _decode_opt(field: str) -> int | None:
+    return None if field == "-" else int(field)
+
+
+def save_trace(ops: Iterable[DynOp], path: str, limit: int | None = None, name: str = "trace") -> int:
+    """Write up to *limit* ops to *path*; returns the count written."""
+    if limit is not None:
+        ops = collect_stream(ops, limit)
+    count = 0
+    with _open(path, "w") as handle:
+        handle.write(f"{_HEADER_PREFIX} name={name}\n")
+        for op in ops:
+            flags = ""
+            if op.is_two_source_format:
+                flags += "F"
+            if op.is_eliminated_nop:
+                flags += "N"
+            fields = [
+                str(op.pc),
+                op.opcode,
+                _encode_opt(op.dest),
+                _encode_regs(op.srcs),
+                _encode_regs(op.sched_deps),
+                _encode_opt(op.store_data_reg),
+                _encode_opt(op.mem_addr),
+                "1" if op.taken else "0",
+                str(op.next_pc),
+                _encode_opt(op.static_target),
+                flags or "-",
+            ]
+            handle.write(" ".join(fields) + "\n")
+            count += 1
+    return count
+
+
+def _parse_line(line: str, seq: int, line_number: int) -> DynOp:
+    fields = line.split()
+    if len(fields) != 11:
+        raise TraceFileError(f"line {line_number}: expected 11 fields, got {len(fields)}")
+    opcode = fields[1]
+    op_info = OPCODE_BY_NAME.get(opcode)
+    if op_info is None:
+        raise TraceFileError(f"line {line_number}: unknown opcode {opcode!r}")
+    flags = fields[10]
+    try:
+        return DynOp(
+            seq=seq,
+            pc=int(fields[0]),
+            opcode=opcode,
+            op_class=op_info.op_class,
+            dest=_decode_opt(fields[2]),
+            srcs=_decode_regs(fields[3]),
+            sched_deps=_decode_regs(fields[4]),
+            store_data_reg=_decode_opt(fields[5]),
+            mem_addr=_decode_opt(fields[6]),
+            taken=fields[7] == "1",
+            next_pc=int(fields[8]),
+            static_target=_decode_opt(fields[9]),
+            is_two_source_format="F" in flags,
+            is_eliminated_nop="N" in flags,
+        )
+    except ValueError as exc:
+        raise TraceFileError(f"line {line_number}: {exc}") from None
+
+
+class TraceFileFeed:
+    """A saved trace, replayable as a simulator feed.
+
+    The whole trace is held in memory; iterating yields fresh sequence
+    numbers so the feed can drive multiple simulations.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.name = "trace"
+        self.ops: list[DynOp] = []
+        self._load()
+
+    def _load(self) -> None:
+        with _open(self.path, "r") as handle:
+            header = handle.readline().rstrip("\n")
+            if not header.startswith(_HEADER_PREFIX):
+                raise TraceFileError(f"{self.path}: not a repro trace file")
+            if "name=" in header:
+                self.name = header.split("name=", 1)[1].strip()
+            for line_number, line in enumerate(handle, start=2):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                self.ops.append(_parse_line(line, len(self.ops), line_number))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[DynOp]:
+        return iter(self.ops)
+
+    def pc_address(self, pc: int) -> int:
+        return pc * 4
+
+
+def load_trace(path: str) -> TraceFileFeed:
+    """Load a trace file saved by :func:`save_trace`."""
+    return TraceFileFeed(path)

@@ -1,0 +1,49 @@
+"""Tests for the validation scorecard and cost summary."""
+
+import pytest
+
+from repro.analysis.experiments import cost_summary
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.validation import ALL_CHECKS, scorecard
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(insts=1000, warmup=1500, benchmarks=("gzip",), num_seeds=1)
+
+
+class TestScorecard:
+    def test_every_check_produces_a_row(self, runner):
+        result = scorecard(runner)
+        assert len(result.rows) == len(ALL_CHECKS)
+        for row in result.rows:
+            assert row[1] in ("PASS", "FAIL")
+            assert row[2]  # detail string populated
+
+    def test_timing_check_passes(self, runner):
+        result = scorecard(runner)
+        assert result.row_for("timing-anchors")[1] == "PASS"
+
+    def test_subset_without_mcf_skips_ordering(self, runner):
+        result = scorecard(runner)
+        row = result.row_for("table2-mcf-slowest")
+        assert row[1] == "PASS" and "skipped" in row[2]
+
+    def test_check_names_unique(self):
+        names = [check.name for check in ALL_CHECKS]
+        assert len(names) == len(set(names))
+
+
+class TestCostSummary:
+    def test_hardware_rows_are_savings(self, runner):
+        result = cost_summary(runner)
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["fast-bus comparators / entry"][3] == -50.0
+        assert by_name["wakeup delay, 64 entries (ps)"][3] < 0
+        assert by_name["RF access time (ns)"][3] < 0
+        assert by_name["RF area (rel)"][3] < -30.0
+
+    def test_area_normalized(self, runner):
+        result = cost_summary(runner)
+        row = result.row_for("RF area (rel)")
+        assert row[1] == 1.0 and 0.3 < row[2] < 0.7

@@ -1,0 +1,121 @@
+"""Tests for the Section 6 future-work extensions.
+
+The paper's conclusion sketches half-price techniques for register
+renaming and bypass logic; this repo implements them as machine options
+(``RenameModel.HALF_PORTS``, ``BypassModel.HALF``).
+"""
+
+import dataclasses
+
+from repro.pipeline.config import BypassModel, FOUR_WIDE, RenameModel
+from repro.pipeline.processor import Processor
+from tests.util import ScriptedFeed, op
+
+BASE = dataclasses.replace(FOUR_WIDE, name="ext-4w", ruu_size=32, lsq_size=16)
+
+
+def run(ops, config, max_insts=None):
+    processor = Processor(ScriptedFeed(ops), config, record_schedule=True)
+    processor.run(max_insts=max_insts or len(ops), warmup=0)
+    return processor
+
+
+def issues(processor, seq):
+    return processor.trace[seq]["issues"]
+
+
+class TestHalfPriceRename:
+    def config(self):
+        return BASE.with_techniques(rename=RenameModel.HALF_PORTS)
+
+    def test_two_source_burst_throttles_dispatch(self):
+        """Four 2-source instructions need 8 lookups: 2 dispatch cycles."""
+        ops = [op(i, dest=1 + i, srcs=(20, 21)) for i in range(4)]
+        base = run(ops, BASE)
+        half = run(ops, self.config())
+        base_inserts = {base.trace[i]["insert"] for i in range(4)}
+        half_inserts = {half.trace[i]["insert"] for i in range(4)}
+        assert len(base_inserts) == 1
+        assert len(half_inserts) == 2
+        assert half.stats.rename_port_stalls >= 1
+
+    def test_single_source_burst_unaffected(self):
+        ops = [op(i, dest=1 + i, srcs=(20,)) for i in range(4)]
+        base = run(ops, BASE)
+        half = run(ops, self.config())
+        assert {half.trace[i]["insert"] for i in range(4)} == {
+            base.trace[i]["insert"] for i in range(4)
+        }
+        assert half.stats.rename_port_stalls == 0
+
+    def test_zero_source_ops_cost_one_token(self):
+        """LDI-style zero-source ops still occupy a lookup slot."""
+        ops = [op(i, dest=1 + i, srcs=()) for i in range(4)]
+        half = run(ops, self.config())
+        assert len({half.trace[i]["insert"] for i in range(4)}) == 1
+
+    def test_name_tagging(self):
+        assert "halfrename" in self.config().name
+
+
+class TestHalfPriceBypass:
+    def config(self):
+        return BASE.with_techniques(bypass=BypassModel.HALF)
+
+    def test_double_bypass_pays_one_cycle(self):
+        """Consumer catching both operands off the bypass in one cycle."""
+        ops = [
+            op(0, dest=1, srcs=(20,)),
+            op(1, dest=2, srcs=(21,)),
+            op(2, dest=3, srcs=(1, 2)),  # both producers broadcast together
+            op(3, dest=4, srcs=(3,)),    # observes the +1 result latency
+        ]
+        base = run(ops, BASE)
+        half = run(ops, self.config())
+        assert half.stats.double_bypass_delays == 1
+        assert issues(half, 3)[0] == issues(base, 3)[0] + 1
+
+    def test_single_bypass_catch_is_free(self):
+        ops = [
+            op(0, dest=1, srcs=(20,)),
+            op(1, dest=2, srcs=(1, 21)),  # only one operand off the bypass
+            op(2, dest=3, srcs=(2,)),
+        ]
+        base = run(ops, BASE)
+        half = run(ops, self.config())
+        assert half.stats.double_bypass_delays == 0
+        assert issues(half, 2)[0] == issues(base, 2)[0]
+
+    def test_register_read_operands_unaffected(self):
+        """Operands ready at insert come from the register file, not the
+        bypass, so the half bypass never penalizes them."""
+        ops = [op(0, dest=1, srcs=(20, 21)), op(1, dest=2, srcs=(1,))]
+        half = run(ops, self.config())
+        assert half.stats.double_bypass_delays == 0
+
+    def test_name_tagging(self):
+        assert "halfbypass" in self.config().name
+
+
+class TestAllTechniquesTogether:
+    def test_full_half_price_machine_runs(self):
+        """Every half-price option at once: the operand-centric design the
+        paper's conclusion aims at."""
+        from repro.pipeline.config import RegFileModel, SchedulerModel
+
+        config = BASE.with_techniques(
+            scheduler=SchedulerModel.SEQ_WAKEUP,
+            regfile=RegFileModel.SEQUENTIAL,
+            rename=RenameModel.HALF_PORTS,
+            bypass=BypassModel.HALF,
+        )
+        ops = [
+            op(0, dest=1, srcs=(20,)),
+            op(1, dest=2, srcs=(21,)),
+            op(2, dest=3, srcs=(1, 2)),
+            op(3, dest=4, srcs=(3, 22)),
+            op(4, "LDQ", dest=5, srcs=(24,), mem_addr=0x100),
+            op(5, dest=6, srcs=(5, 3)),
+        ]
+        processor = run(ops, config)
+        assert processor.stats.committed == 6

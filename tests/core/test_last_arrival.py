@@ -1,0 +1,137 @@
+"""Tests for last-arriving operand predictors (Section 3.2 / Figure 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.last_arrival import (
+    LastArrivalPredictor,
+    OperandSide,
+    ShadowPredictorBank,
+    StaticLastArrival,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOperandSide:
+    def test_other(self):
+        assert OperandSide.LEFT.other is OperandSide.RIGHT
+        assert OperandSide.RIGHT.other is OperandSide.LEFT
+
+
+class TestStaticPolicy:
+    def test_always_right(self):
+        policy = StaticLastArrival()
+        assert policy.predict(0) is OperandSide.RIGHT
+        assert policy.predict(999) is OperandSide.RIGHT
+
+    def test_update_is_noop(self):
+        policy = StaticLastArrival()
+        policy.update(5, OperandSide.LEFT)
+        assert policy.predict(5) is OperandSide.RIGHT
+
+
+class TestBimodalPredictor:
+    def test_initial_bias_is_right(self):
+        assert LastArrivalPredictor(128).predict(7) is OperandSide.RIGHT
+
+    def test_learns_left(self):
+        predictor = LastArrivalPredictor(128)
+        for _ in range(4):
+            predictor.update(7, OperandSide.LEFT)
+        assert predictor.predict(7) is OperandSide.LEFT
+
+    def test_hysteresis(self):
+        predictor = LastArrivalPredictor(128)
+        for _ in range(4):
+            predictor.update(7, OperandSide.LEFT)
+        predictor.update(7, OperandSide.RIGHT)
+        assert predictor.predict(7) is OperandSide.LEFT  # one update not enough
+
+    def test_direct_mapped_aliasing(self):
+        predictor = LastArrivalPredictor(128)
+        for _ in range(4):
+            predictor.update(0, OperandSide.LEFT)
+        assert predictor.predict(128) is OperandSide.LEFT  # same entry
+
+    def test_accuracy_bookkeeping(self):
+        predictor = LastArrivalPredictor(128)
+        predictor.record_outcome(OperandSide.LEFT, OperandSide.LEFT)
+        predictor.record_outcome(OperandSide.LEFT, OperandSide.RIGHT)
+        assert predictor.accuracy == pytest.approx(0.5)
+
+    def test_empty_accuracy(self):
+        assert LastArrivalPredictor(128).accuracy == 0.0
+
+    @pytest.mark.parametrize("bad", [0, 3, 100, -8])
+    def test_bad_sizes_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            LastArrivalPredictor(bad)
+
+    def test_stable_pattern_reaches_high_accuracy(self):
+        """A per-PC stable last side is predicted ~perfectly (Table 3)."""
+        predictor = LastArrivalPredictor(1024)
+        correct = 0
+        for step in range(200):
+            side = OperandSide.LEFT if (step % 7) else OperandSide.RIGHT
+            pc = step % 7
+            truth = OperandSide.LEFT if pc else OperandSide.RIGHT
+            predicted = predictor.predict(pc)
+            if step >= 50:
+                correct += predicted is truth
+            predictor.update(pc, truth)
+        assert correct / 150 > 0.95
+
+
+class TestShadowBank:
+    def test_bank_trains_all_sizes(self):
+        bank = ShadowPredictorBank((128, 512))
+        for _ in range(10):
+            bank.observe(42, OperandSide.LEFT)
+        table = bank.accuracy_table()
+        assert set(table) == {128, 512}
+        assert all(acc > 0.5 for acc in table.values())
+
+    def test_simultaneous_counted_not_trained(self):
+        bank = ShadowPredictorBank((128,))
+        bank.observe(42, None)
+        bank.observe(42, OperandSide.LEFT)
+        assert bank.simultaneous == 1
+        assert bank.samples == 2
+        assert bank.frac_simultaneous == pytest.approx(0.5)
+        assert bank.predictors[128].predictions == 1
+
+    def test_empty_bank(self):
+        assert ShadowPredictorBank((128,)).frac_simultaneous == 0.0
+
+    def test_larger_tables_no_worse_under_aliasing(self):
+        """With many PCs, bigger tables suffer less destructive aliasing
+        (the Figure 7 trend)."""
+        bank = ShadowPredictorBank((128, 4096))
+        import random
+
+        rng = random.Random(9)
+        truth = {pc: rng.choice(list(OperandSide)) for pc in range(1500)}
+        for step in range(30_000):
+            pc = rng.randrange(1500)
+            bank.observe(pc * 17, truth[pc])
+        table = bank.accuracy_table()
+        assert table[4096] >= table[128]
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4095), st.booleans()), max_size=150))
+    def test_predictor_never_crashes(self, stream):
+        predictor = LastArrivalPredictor(256)
+        for pc, left in stream:
+            side = OperandSide.LEFT if left else OperandSide.RIGHT
+            assert predictor.predict(pc) in (OperandSide.LEFT, OperandSide.RIGHT)
+            predictor.update(pc, side)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**40))
+    def test_huge_pcs_masked(self, pc):
+        predictor = LastArrivalPredictor(64)
+        predictor.update(pc, OperandSide.LEFT)
+        assert predictor.predict(pc) in (OperandSide.LEFT, OperandSide.RIGHT)

@@ -1,0 +1,75 @@
+"""Tests for the branch unit facade."""
+
+import pytest
+
+from repro.frontend.branch_unit import BranchPrediction, BranchUnit
+
+
+@pytest.fixture
+def unit():
+    return BranchUnit()
+
+
+class TestConditionalBranches:
+    def test_direction_training(self, unit):
+        prediction = None
+        for _ in range(8):
+            prediction = unit.predict(10, "BEQ", static_target=3)
+            unit.resolve(10, "BEQ", prediction, True, 3, fallthrough=11)
+        assert unit.predict(10, "BEQ", static_target=3).predicted_taken
+
+    def test_correct_prediction_counts(self, unit):
+        for _ in range(8):
+            prediction = unit.predict(10, "BNE", static_target=3)
+            unit.resolve(10, "BNE", prediction, True, 3, fallthrough=11)
+        before = unit.mispredictions
+        prediction = unit.predict(10, "BNE", static_target=3)
+        assert not unit.resolve(10, "BNE", prediction, True, 3, fallthrough=11)
+        assert unit.mispredictions == before
+
+    def test_direction_mispredict_detected(self, unit):
+        for _ in range(8):
+            prediction = unit.predict(10, "BEQ", static_target=3)
+            unit.resolve(10, "BEQ", prediction, True, 3, fallthrough=11)
+        prediction = unit.predict(10, "BEQ", static_target=3)
+        assert unit.resolve(10, "BEQ", prediction, False, 11, fallthrough=11)
+
+
+class TestUnconditional:
+    def test_br_never_mispredicts(self, unit):
+        prediction = unit.predict(5, "BR", static_target=2)
+        assert prediction.predicted_taken and prediction.predicted_target == 2
+        assert not unit.resolve(5, "BR", prediction, True, 2, fallthrough=6)
+
+
+class TestIndirect:
+    def test_jmp_uses_btb(self, unit):
+        prediction = unit.predict(20, "JMP", static_target=None)
+        assert prediction.predicted_target is None  # cold BTB
+        assert unit.resolve(20, "JMP", prediction, True, 50, fallthrough=21)
+        prediction = unit.predict(20, "JMP", static_target=None)
+        assert prediction.predicted_target == 50
+        assert not unit.resolve(20, "JMP", prediction, True, 50, fallthrough=21)
+
+    def test_jsr_pushes_ras_and_ret_pops(self, unit):
+        unit.predict(30, "JSR", static_target=None)
+        prediction = unit.predict(90, "RET", static_target=None)
+        assert prediction.predicted_target == 31
+
+    def test_ret_empty_ras_falls_back_to_btb(self, unit):
+        unit.btb.install(90, 31)
+        prediction = unit.predict(90, "RET", static_target=None)
+        assert prediction.predicted_target == 31
+
+
+class TestAccuracy:
+    def test_accuracy_tracks(self, unit):
+        prediction = BranchPrediction(True, 3)
+        unit.resolve(1, "BR", prediction, True, 3, fallthrough=2)
+        unit.resolve(1, "BR", prediction, True, 4, fallthrough=2)
+        assert unit.accuracy == pytest.approx(0.5)
+
+    def test_next_pc_helper(self):
+        assert BranchPrediction(False, 9).next_pc(5) == 5
+        assert BranchPrediction(True, 9).next_pc(5) == 9
+        assert BranchPrediction(True, None).next_pc(5) is None

@@ -1,0 +1,66 @@
+"""Tests for architectural register layout and parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    F31,
+    FP_REG_BASE,
+    NUM_ARCH_REGS,
+    R31,
+    is_fp_reg,
+    is_zero_reg,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestZeroRegisters:
+    def test_r31_is_zero(self):
+        assert is_zero_reg(R31)
+
+    def test_f31_is_zero(self):
+        assert is_zero_reg(F31)
+
+    def test_ordinary_registers_are_not_zero(self):
+        for reg in (0, 1, 30, FP_REG_BASE, FP_REG_BASE + 30):
+            assert not is_zero_reg(reg)
+
+
+class TestFpClassification:
+    def test_int_range(self):
+        assert not is_fp_reg(0)
+        assert not is_fp_reg(31)
+
+    def test_fp_range(self):
+        assert is_fp_reg(FP_REG_BASE)
+        assert is_fp_reg(NUM_ARCH_REGS - 1)
+
+
+class TestNames:
+    def test_int_name_roundtrip(self):
+        for number in range(32):
+            assert parse_reg(reg_name(number)) == number
+
+    def test_fp_name_roundtrip(self):
+        for number in range(32):
+            reg = FP_REG_BASE + number
+            assert parse_reg(reg_name(reg)) == reg
+
+    def test_name_formats(self):
+        assert reg_name(4) == "r4"
+        assert reg_name(FP_REG_BASE + 2) == "f2"
+
+    def test_reg_name_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_ARCH_REGS)
+        with pytest.raises(ValueError):
+            reg_name(-1)
+
+    @pytest.mark.parametrize("bad", ["x3", "r", "r32", "f99", "3", "", "rr1"])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+    def test_parse_is_case_insensitive(self):
+        assert parse_reg("R5") == 5
+        assert parse_reg("F5") == FP_REG_BASE + 5

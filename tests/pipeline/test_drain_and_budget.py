@@ -1,0 +1,58 @@
+"""Tests for run-loop termination: feed exhaustion, budgets, warmup edges."""
+
+from repro.pipeline.config import FOUR_WIDE
+from repro.pipeline.processor import Processor, simulate
+from repro.workloads import EmulatorFeed, SyntheticWorkload, get_profile, kernel_program
+from tests.util import ScriptedFeed, op
+
+
+class TestFeedExhaustion:
+    def test_short_feed_drains_cleanly(self):
+        """The pipeline drains when the feed ends before the budget."""
+        ops = [op(i, dest=1 + (i % 8), srcs=(20,)) for i in range(10)]
+        result = simulate(ScriptedFeed(ops), FOUR_WIDE, max_insts=10_000, warmup=0)
+        assert result.stats.committed == 10
+
+    def test_feed_shorter_than_warmup(self):
+        """Warmup larger than the program: everything still retires and the
+        measured window is simply empty."""
+        ops = [op(i, dest=1 + (i % 8), srcs=(20,)) for i in range(10)]
+        result = simulate(ScriptedFeed(ops), FOUR_WIDE, max_insts=100, warmup=1_000)
+        assert result.total_committed == 10
+        assert result.stats.committed <= 10
+
+    def test_empty_feed(self):
+        result = simulate(ScriptedFeed([]), FOUR_WIDE, max_insts=100, warmup=0)
+        assert result.stats.committed == 0
+        assert result.total_cycles < 10
+
+    def test_budget_cuts_infinite_feed(self):
+        workload = SyntheticWorkload(get_profile("gzip"), seed=1)
+        result = simulate(workload, FOUR_WIDE, max_insts=500, warmup=0)
+        assert 500 <= result.stats.committed <= 500 + FOUR_WIDE.width
+
+
+class TestWarmupBoundary:
+    def test_warmup_resets_counters_not_state(self):
+        feed = EmulatorFeed(kernel_program("vector_sum", n=400), name="vs")
+        processor = Processor(feed, FOUR_WIDE)
+        result = processor.run(max_insts=500, warmup=500)
+        # Caches stay warm across the boundary: the measured window should
+        # see a much lower DL1 miss rate than a cold run of the same size.
+        assert result.stats.committed >= 500 - FOUR_WIDE.width
+        assert result.total_committed >= 1000 - FOUR_WIDE.width
+
+    def test_zero_warmup(self):
+        workload = SyntheticWorkload(get_profile("eon"), seed=4)
+        result = simulate(workload, FOUR_WIDE, max_insts=300, warmup=0)
+        assert result.total_committed == result.stats.committed
+
+
+class TestResultFields:
+    def test_result_metadata(self):
+        workload = SyntheticWorkload(get_profile("vpr"), seed=2)
+        result = simulate(workload, FOUR_WIDE, max_insts=200, warmup=100)
+        assert result.config_name == "4-wide"
+        assert result.workload_name == "vpr"
+        assert result.total_cycles > 0
+        assert result.ipc == result.stats.ipc

@@ -1,0 +1,63 @@
+"""Tests for the ASCII pipeline trace renderer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pipeline.config import FOUR_WIDE
+from repro.pipeline.pipetrace import render_pipetrace
+from repro.pipeline.processor import Processor
+from repro.workloads import EmulatorFeed, kernel_program
+from tests.util import ScriptedFeed, op
+
+
+def traced_processor(ops):
+    processor = Processor(ScriptedFeed(ops), FOUR_WIDE, record_schedule=True)
+    processor.run(max_insts=len(ops), warmup=0)
+    return processor
+
+
+class TestRenderPipetrace:
+    def test_markers_present(self):
+        processor = traced_processor([op(0, dest=1, srcs=(20,)), op(1, dest=2, srcs=(1,))])
+        text = render_pipetrace(processor)
+        assert "D" in text and "I" in text and "R" in text
+        assert "legend:" in text
+
+    def test_one_row_per_instruction(self):
+        ops = [op(i, dest=1 + i, srcs=(20,)) for i in range(5)]
+        processor = traced_processor(ops)
+        text = render_pipetrace(processor, count=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 6  # header + 5 instructions
+
+    def test_replayed_issue_marked_lowercase(self):
+        ops = [
+            op(0, "LDQ", dest=1, srcs=(20,), mem_addr=0x9000),  # cold miss
+            op(1, dest=2, srcs=(1,)),                            # replayed
+        ]
+        processor = traced_processor(ops)
+        text = render_pipetrace(processor)
+        assert "i" in text  # the squashed first issue of the dependent
+
+    def test_range_selection(self):
+        ops = [op(i, dest=1 + (i % 5), srcs=(20,)) for i in range(10)]
+        processor = traced_processor(ops)
+        text = render_pipetrace(processor, first_seq=8, count=2)
+        assert "   8 " in text and "   9 " in text and "   0 " not in text
+
+    def test_empty_range(self):
+        processor = traced_processor([op(0, dest=1, srcs=(20,))])
+        assert "no committed" in render_pipetrace(processor, first_seq=99)
+
+    def test_requires_recording(self):
+        processor = Processor(ScriptedFeed([op(0, dest=1)]), FOUR_WIDE)
+        processor.run(max_insts=1, warmup=0)
+        with pytest.raises(SimulationError):
+            render_pipetrace(processor)
+
+    def test_kernel_trace_renders(self):
+        feed = EmulatorFeed(kernel_program("fibonacci", n=8))
+        processor = Processor(feed, FOUR_WIDE, record_schedule=True)
+        processor.run(max_insts=1000, warmup=0)
+        text = render_pipetrace(processor, count=10)
+        assert "ADD" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the statistics recorder."""
+
+import pytest
+
+from repro.core.last_arrival import OperandSide
+from repro.pipeline.stats import SimStats, WakeupOrderStats
+
+
+class TestWakeupOrderStats:
+    def test_first_occurrence_sets_history_only(self):
+        order = WakeupOrderStats()
+        order.observe(10, OperandSide.LEFT)
+        assert order.same_order == 0 and order.diff_order == 0
+        assert order.last_left == 1
+
+    def test_same_and_diff_tracking(self):
+        order = WakeupOrderStats()
+        order.observe(10, OperandSide.LEFT)
+        order.observe(10, OperandSide.LEFT)
+        order.observe(10, OperandSide.RIGHT)
+        assert order.same_order == 1 and order.diff_order == 1
+        assert order.frac_same == pytest.approx(0.5)
+
+    def test_simultaneous_separate(self):
+        order = WakeupOrderStats()
+        order.observe(10, None)
+        assert order.simultaneous == 1
+        assert order.last_left == 0 and order.last_right == 0
+
+    def test_frac_last_left(self):
+        order = WakeupOrderStats()
+        order.observe(1, OperandSide.LEFT)
+        order.observe(2, OperandSide.RIGHT)
+        order.observe(3, OperandSide.RIGHT)
+        assert order.frac_last_left == pytest.approx(1 / 3)
+
+    def test_empty_fractions(self):
+        order = WakeupOrderStats()
+        assert order.frac_same == 0.0
+        assert order.frac_last_left == 0.0
+
+    def test_reset_keeps_history(self):
+        order = WakeupOrderStats()
+        order.observe(10, OperandSide.LEFT)
+        order.reset()
+        assert order.last_left == 0
+        order.observe(10, OperandSide.LEFT)
+        assert order.same_order == 1  # history survived the reset
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats()
+        stats.cycles, stats.committed = 100, 150
+        assert stats.ipc == pytest.approx(1.5)
+        assert SimStats().ipc == 0.0
+
+    def test_record_dispatch(self):
+        stats = SimStats()
+        stats.record_dispatch(True, 0)
+        stats.record_dispatch(True, 2)
+        stats.record_dispatch(False, 0)
+        assert stats.dispatched == 3
+        assert stats.two_source_dispatched == 2
+        assert stats.frac_two_pending == pytest.approx(0.5)
+
+    def test_record_wakeup_pair_slack_capped(self):
+        stats = SimStats()
+        stats.record_wakeup_pair(1, 50, OperandSide.LEFT)
+        assert stats.wakeup_slack[8] == 1  # capped histogram bucket
+
+    def test_frac_simultaneous(self):
+        stats = SimStats()
+        stats.record_wakeup_pair(1, 0, None)
+        stats.record_wakeup_pair(1, 3, OperandSide.RIGHT)
+        assert stats.frac_simultaneous == pytest.approx(0.5)
+
+    def test_rf_categories(self):
+        stats = SimStats()
+        stats.committed = 10
+        stats.record_rf_category("back_to_back")
+        stats.record_rf_category("two_ready")
+        stats.record_rf_category("non_back_to_back")
+        assert stats.frac_two_rf_reads == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            stats.record_rf_category("bogus")
+
+    def test_predictor_accuracy(self):
+        stats = SimStats()
+        stats.last_arrival_predictions = 10
+        stats.last_arrival_mispredictions = 2
+        assert stats.predictor_accuracy == pytest.approx(0.8)
+        assert SimStats().predictor_accuracy == 0.0
+
+    def test_reset_window_clears_counters(self):
+        stats = SimStats()
+        stats.cycles = 5
+        stats.committed = 9
+        stats.ready_at_insert[1] = 4
+        stats.sequential_rf_accesses = 3
+        stats.rename_port_stalls = 2
+        stats.reset_window()
+        assert stats.cycles == 0 and stats.committed == 0
+        assert not stats.ready_at_insert
+        assert stats.sequential_rf_accesses == 0
+        assert stats.rename_port_stalls == 0
+
+    def test_branch_rate(self):
+        stats = SimStats()
+        stats.branches, stats.branch_mispredicts = 20, 2
+        assert stats.branch_mispredict_rate == pytest.approx(0.1)

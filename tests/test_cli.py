@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bzip" in out and "fibonacci" in out and "fig14" in out
+
+
+class TestKernel:
+    def test_kernel_summary(self, capsys):
+        assert main(["kernel", "fibonacci"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC:" in out and "committed:" in out
+
+    def test_kernel_pipetrace(self, capsys):
+        assert main(["kernel", "fibonacci", "--pipetrace", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_kernel_with_techniques(self, capsys):
+        assert main(
+            ["kernel", "dotproduct", "--scheduler", "seq_wakeup",
+             "--regfile", "sequential", "--no-predictor"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seq_wakeup-nopred" in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["kernel", "doom"])
+
+
+class TestRun:
+    def test_run_benchmark(self, capsys):
+        code = main(["run", "gzip", "--insts", "600", "--warmup", "600"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload:  gzip" in out
+
+    def test_run_with_extensions(self, capsys):
+        code = main(
+            ["run", "gzip", "--insts", "400", "--warmup", "400",
+             "--half-rename", "--half-bypass", "--width", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "halfrename" in out and "halfbypass" in out
+
+
+class TestExperiment:
+    def test_timing_experiment(self, capsys):
+        assert main(["experiment", "timing"]) == 0
+        out = capsys.readouterr().out
+        assert "466" in out and "1.710" in out
+
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "RUU entries" in capsys.readouterr().out
+
+    def test_small_simulation_experiment(self, capsys):
+        code = main(
+            ["experiment", "fig2", "--insts", "300", "--warmup", "300",
+             "--benchmarks", "gzip"]
+        )
+        assert code == 0
+        assert "gzip" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_machine_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "bzip", "--scheduler", "tag_elim", "--width", "8"]
+        )
+        assert args.scheduler == "tag_elim" and args.width == 8

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: Fast argument sets so the whole module stays test-suite friendly.
+_CASES = {
+    "quickstart.py": ["fibonacci"],
+    "halfprice_comparison.py": ["--benchmarks", "gzip", "--insts", "800", "--warmup", "1200"],
+    "spec_characterization.py": ["--benchmarks", "gzip", "--insts", "600", "--warmup", "900"],
+    "circuit_timing.py": [],
+    "custom_workload.py": [],
+    "trace_capture.py": ["--ops", "3000"],
+    "dependence_matrix_demo.py": [],
+}
+
+
+def run_example(name, args):
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_CASES))
+def test_example_runs(name):
+    result = run_example(name, _CASES[name])
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_all_examples_covered():
+    """Every example script has a smoke test (keep _CASES in sync)."""
+    on_disk = {
+        p.name for p in _EXAMPLES.glob("*.py") if not p.name.startswith("generate")
+    }
+    assert on_disk == set(_CASES)

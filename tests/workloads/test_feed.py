@@ -1,0 +1,79 @@
+"""Tests for the emulator feed and stream statistics."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.workloads.feed import EmulatorFeed, StreamStats, collect_stream
+
+
+class TestEmulatorFeed:
+    def test_yields_committed_stream(self):
+        feed = EmulatorFeed(assemble("LDI r1, 1\nLDI r2, 2\nADD r3, r1, r2\nHALT"))
+        ops = list(feed)
+        assert [op.pc for op in ops] == [0, 1, 2]
+        assert ops[2].sched_deps == (1, 2)
+
+    def test_halt_not_yielded(self):
+        ops = list(EmulatorFeed(assemble("NOP\nHALT")))
+        assert len(ops) == 1
+
+    def test_seq_is_dynamic_order(self):
+        source = "LDI r1, 3\nloop: SUB r1, r1, #1\nBNE r1, loop\nHALT"
+        ops = list(EmulatorFeed(assemble(source)))
+        assert [op.seq for op in ops] == list(range(len(ops)))
+        assert len(ops) == 1 + 3 * 2  # LDI + 3x(SUB, BNE)
+
+    def test_restartable(self):
+        feed = EmulatorFeed(assemble("LDI r1, 1\nHALT"))
+        assert len(list(feed)) == len(list(feed)) == 1
+
+    def test_branch_outcomes_recorded(self):
+        source = "LDI r1, 2\nloop: SUB r1, r1, #1\nBNE r1, loop\nHALT"
+        ops = list(EmulatorFeed(assemble(source)))
+        branch_ops = [op for op in ops if op.is_branch]
+        assert branch_ops[0].taken is True
+        assert branch_ops[-1].taken is False
+
+    def test_collect_stream_limits(self):
+        source = "loop: ADD r1, r1, #1\nBR loop"
+        ops = collect_stream(EmulatorFeed(assemble(source)), 10)
+        assert len(ops) == 10
+
+
+class TestStreamStats:
+    SOURCE = "\n".join(
+        [
+            "LDI r1, 1",          # other
+            "ADD r2, r1, r1",     # 2-src format, duplicate -> demoted
+            "ADD r3, r1, r2",     # 2-source
+            "ADD r4, r1, r31",    # 2-src format, zero-reg -> demoted
+            "NOP2 r1, r2",        # eliminated 2-src-format nop
+            "STQ r3, 0(r1)",      # store
+            "LDQ r5, 0(r1)",      # other
+            "HALT",
+        ]
+    )
+
+    def test_categories(self):
+        stats = StreamStats.from_stream(EmulatorFeed(assemble(self.SOURCE)))
+        assert stats.total == 7
+        assert stats.stores == 1
+        assert stats.eliminated_nops == 1
+        assert stats.two_source == 1
+        assert stats.one_effective_source == 2
+        assert stats.other == 2
+
+    def test_fractions(self):
+        stats = StreamStats.from_stream(EmulatorFeed(assemble(self.SOURCE)))
+        assert stats.frac_two_source == pytest.approx(1 / 7)
+        assert stats.frac_stores == pytest.approx(1 / 7)
+        # Figure 2 counts non-store 2-source-format including nops.
+        assert stats.frac_two_source_format == pytest.approx(4 / 7)
+
+    def test_empty(self):
+        stats = StreamStats()
+        assert stats.frac_two_source == 0.0
+
+    def test_limit(self):
+        stats = StreamStats.from_stream(EmulatorFeed(assemble(self.SOURCE)), limit=2)
+        assert stats.total == 2

@@ -1,0 +1,87 @@
+"""Tests for DynOp construction and classification."""
+
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import R31
+from repro.workloads.trace import DynOp, dynop_from_instruction
+
+
+def op_from(source, **kwargs):
+    inst = assemble(source).instructions[0]
+    return dynop_from_instruction(seq=0, pc=0, inst=inst, **kwargs)
+
+
+class TestFromInstruction:
+    def test_two_source_alu(self):
+        op = op_from("ADD r1, r2, r3")
+        assert op.dest == 1
+        assert op.sched_deps == (2, 3)
+        assert op.is_two_source and op.is_two_source_format
+
+    def test_immediate_alu(self):
+        op = op_from("ADD r1, r2, #5")
+        assert op.sched_deps == (2,)
+        assert not op.is_two_source_format
+
+    def test_zero_source_demoted(self):
+        op = op_from("ADD r1, r2, r31")
+        assert op.sched_deps == (2,)
+        assert op.is_two_source_format and not op.is_two_source
+
+    def test_duplicate_source_demoted(self):
+        op = op_from("ADD r1, r2, r2")
+        assert op.sched_deps == (2,)
+        assert not op.is_two_source
+
+    def test_store_splits_agen_and_data(self):
+        op = op_from("STQ r4, 8(r2)", mem_addr=100)
+        assert op.sched_deps == (2,)      # address base only
+        assert op.store_data_reg == 4
+        assert op.is_store and not op.is_two_source
+        assert op.is_two_source_format    # Figure 2 keeps the raw format
+
+    def test_store_with_zero_base(self):
+        op = op_from("STQ r4, 8(r31)")
+        assert op.sched_deps == ()
+
+    def test_load(self):
+        op = op_from("LDQ r4, 8(r2)", mem_addr=4104)
+        assert op.is_load and op.mem_addr == 4104
+        assert op.dest == 4 and op.sched_deps == (2,)
+
+    def test_nop2_is_eliminated(self):
+        op = op_from("NOP2 r1, r2")
+        assert op.is_eliminated_nop
+        assert op.dest is None
+        assert op.sched_deps == ()
+
+    def test_operate_to_zero_reg_is_eliminated(self):
+        inst = assemble("ADD r1, r2, r3").instructions[0]
+        from dataclasses import replace
+
+        inst = replace(inst, dest=R31)
+        op = dynop_from_instruction(0, 0, inst)
+        assert op.is_eliminated_nop and op.dest is None and op.sched_deps == ()
+
+    def test_branch_carries_target_and_outcome(self):
+        op = op_from("loop: BEQ r1, loop", taken=True, next_pc=0)
+        assert op.is_branch and op.taken
+        assert op.next_pc == 0 and op.static_target == 0
+
+    def test_default_next_pc_is_fallthrough(self):
+        op = op_from("ADD r1, r2, r3")
+        assert op.next_pc == 1
+
+
+class TestDynOpDirect:
+    def test_minimal_construction(self):
+        op = DynOp(seq=5, pc=9, opcode="ADD", op_class=OpClass.INT_ALU)
+        assert op.seq == 5 and op.next_pc == 10
+        assert not op.is_load and not op.is_two_source
+
+    def test_two_source_property(self):
+        op = DynOp(0, 0, "ADD", OpClass.INT_ALU, dest=1, sched_deps=(2, 3))
+        assert op.is_two_source
+
+    def test_repr(self):
+        assert "ADD" in repr(DynOp(0, 3, "ADD", OpClass.INT_ALU))

@@ -1,0 +1,98 @@
+"""Tests for trace file save/load round-trips."""
+
+import pytest
+
+from repro.pipeline.config import FOUR_WIDE
+from repro.pipeline.processor import simulate
+from repro.workloads.feed import EmulatorFeed, collect_stream
+from repro.workloads.kernels import kernel_program
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.tracefile import TraceFileError, load_trace, save_trace
+
+
+def fields_of(op):
+    return (
+        op.pc, op.opcode, op.dest, op.srcs, op.sched_deps, op.store_data_reg,
+        op.mem_addr, op.taken, op.next_pc, op.static_target,
+        op.is_two_source_format, op.is_eliminated_nop,
+    )
+
+
+class TestRoundTrip:
+    def test_synthetic_round_trip(self, tmp_path):
+        workload = SyntheticWorkload(get_profile("gcc"), seed=9)
+        path = tmp_path / "gcc.trace"
+        written = save_trace(workload, str(path), limit=2000, name="gcc")
+        assert written == 2000
+        feed = load_trace(str(path))
+        assert feed.name == "gcc"
+        original = collect_stream(workload, 2000)
+        assert len(feed) == 2000
+        for a, b in zip(original, feed.ops):
+            assert fields_of(a) == fields_of(b)
+
+    def test_kernel_round_trip(self, tmp_path):
+        feed = EmulatorFeed(kernel_program("dotproduct", n=16))
+        path = tmp_path / "k.trace"
+        save_trace(feed, str(path), name="dotproduct")
+        loaded = load_trace(str(path))
+        for a, b in zip(feed, loaded.ops):
+            assert fields_of(a) == fields_of(b)
+
+    def test_gzip_round_trip(self, tmp_path):
+        workload = SyntheticWorkload(get_profile("gzip"), seed=2)
+        path = tmp_path / "t.trace.gz"
+        save_trace(workload, str(path), limit=500)
+        assert len(load_trace(str(path))) == 500
+
+    def test_simulation_from_trace_matches_live(self, tmp_path):
+        """Simulating the saved trace gives the identical IPC."""
+        feed = EmulatorFeed(kernel_program("branchy_max", n=100), name="bm")
+        path = tmp_path / "bm.trace"
+        save_trace(feed, str(path), name="bm")
+        live = simulate(feed, FOUR_WIDE, max_insts=10**6, warmup=0)
+        replay = simulate(load_trace(str(path)), FOUR_WIDE, max_insts=10**6, warmup=0)
+        assert replay.ipc == live.ipc
+        assert replay.stats.committed == live.stats.committed
+
+    def test_feed_is_reiterable(self, tmp_path):
+        workload = SyntheticWorkload(get_profile("eon"), seed=3)
+        path = tmp_path / "e.trace"
+        save_trace(workload, str(path), limit=100)
+        feed = load_trace(str(path))
+        assert len(list(feed)) == len(list(feed)) == 100
+
+
+class TestErrors:
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "bogus.trace"
+        path.write_text("hello\n")
+        with pytest.raises(TraceFileError):
+            load_trace(str(path))
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "short.trace"
+        path.write_text("#repro-trace v1 name=x\n1 ADD 2\n")
+        with pytest.raises(TraceFileError):
+            load_trace(str(path))
+
+    def test_unknown_opcode(self, tmp_path):
+        path = tmp_path / "op.trace"
+        path.write_text("#repro-trace v1 name=x\n0 FROB - - - - - 0 1 - -\n")
+        with pytest.raises(TraceFileError):
+            load_trace(str(path))
+
+    def test_bad_integer(self, tmp_path):
+        path = tmp_path / "int.trace"
+        path.write_text("#repro-trace v1 name=x\nxx ADD - - - - - 0 1 - -\n")
+        with pytest.raises(TraceFileError):
+            load_trace(str(path))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "c.trace"
+        path.write_text(
+            "#repro-trace v1 name=x\n\n# a comment\n0 ADD 1 2,3 2,3 - - 0 1 - F\n"
+        )
+        feed = load_trace(str(path))
+        assert len(feed) == 1 and feed.ops[0].is_two_source
