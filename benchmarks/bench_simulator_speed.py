@@ -1,9 +1,14 @@
 """Simulator throughput benchmarks (pytest-benchmark, multiple rounds).
 
 Not a paper figure — these track the cost of the substrate itself so
-regressions in the cycle loop, the cache model or the generator show up.
+regressions in the cycle loop, the cache model, the generator, the result
+cache or the parallel fan-out show up.  Baselines live in
+``results/speed_baseline.txt``; the engine itself is described in
+``docs/PERFORMANCE.md``.
 """
 
+from repro.analysis.cache import ResultCache
+from repro.analysis.parallel import Job, execute_job, run_jobs
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import FOUR_WIDE
 from repro.pipeline.processor import Processor
@@ -39,3 +44,36 @@ def test_speed_cache_hierarchy(benchmark):
         return total
 
     assert benchmark(sweep) > 0
+
+
+def test_speed_result_cache_hit(benchmark, tmp_path):
+    """Disk-cache lookup cost: fingerprint + JSON load + deserialize.
+
+    This is the unit of work a warm figure-regeneration session pays per
+    result instead of a full simulation — it should stay milliseconds.
+    """
+    cache = ResultCache(tmp_path)
+    job = Job("gzip", FOUR_WIDE, 3, 1_000, 1_000)
+    cache.store("gzip", 3, 1_000, 1_000, FOUR_WIDE, None, execute_job(job))
+
+    def lookup():
+        return cache.load("gzip", 3, 1_000, 1_000, FOUR_WIDE, None)
+
+    result = benchmark(lookup)
+    assert result is not None and result.total_committed >= 1_000
+
+
+def test_speed_parallel_fanout_overhead(benchmark):
+    """Pool fan-out vs. inline: the fixed cost of pickling + worker startup.
+
+    Two tiny jobs through a 2-worker pool.  The absolute number is
+    dominated by process startup; it bounds the job size below which the
+    pool is not worth it (see docs/PERFORMANCE.md).
+    """
+    jobs = [Job("gzip", FOUR_WIDE, seed, 500, 500) for seed in (3, 4)]
+
+    def fan_out():
+        return run_jobs(jobs, workers=2)
+
+    results = benchmark(fan_out)
+    assert [r.total_committed >= 500 for r in results] == [True, True]

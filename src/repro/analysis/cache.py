@@ -1,0 +1,293 @@
+"""Persistent on-disk result cache for simulation runs.
+
+Every finished :class:`~repro.pipeline.processor.SimulationResult` can be
+stored as one small JSON record under ``results/cache/`` and replayed in a
+later session without re-simulating.  Records are keyed by a SHA-256
+fingerprint over everything that determines a run's outcome:
+
+* the **timing-model version stamp**
+  (:data:`repro.pipeline.processor.TIMING_MODEL_VERSION`) — bumped whenever
+  a code change alters simulated timing, which invalidates every existing
+  record at once;
+* the workload identity (benchmark profile name + seed);
+* the run lengths (measured instructions, warmup instructions);
+* the **full machine configuration** (``dataclasses.asdict`` of the frozen
+  config, enums flattened to their values) — sweep variants that share a
+  name but differ in any parameter can never collide;
+* the shadow-predictor sizes, when a shadow bank was attached.
+
+Serialization keeps every counter the analysis layer consumes after a run
+(IPC inputs, figure counters, predictor-bank accuracy counts).  Predictor
+*table contents* and the per-PC wakeup-order history are deliberately not
+persisted: they only influence behaviour **during** a simulation, never the
+interpretation of a finished one.
+
+Environment knobs::
+
+    REPRO_CACHE      "0"/"off"/"false" disables the disk cache (default on)
+    REPRO_CACHE_DIR  cache directory (default <repo>/results/cache)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro.core.last_arrival import DesignComparisonBank, ShadowPredictorBank
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import TIMING_MODEL_VERSION, SimulationResult
+from repro.pipeline.stats import SimStats, WakeupOrderStats
+
+#: Bump when the *record format* (not the timing model) changes shape.
+CACHE_FORMAT_VERSION = 1
+
+
+def _json_default(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    raise TypeError(f"not JSON-serializable: {value!r}")  # pragma: no cover
+
+
+def fingerprint(
+    benchmark: str,
+    seed: int,
+    insts: int,
+    warmup: int,
+    config: MachineConfig,
+    shadow_sizes: tuple[int, ...] | None,
+) -> str:
+    """Stable digest identifying one simulation's full input space."""
+    identity = {
+        "model_version": TIMING_MODEL_VERSION,
+        "format_version": CACHE_FORMAT_VERSION,
+        "benchmark": benchmark,
+        "seed": seed,
+        "insts": insts,
+        "warmup": warmup,
+        "shadow_sizes": list(shadow_sizes) if shadow_sizes else None,
+        "config": dataclasses.asdict(config),
+    }
+    payload = json.dumps(identity, sort_keys=True, default=_json_default)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# SimulationResult <-> JSON record
+# ----------------------------------------------------------------------
+
+#: SimStats plain-integer counters, serialized verbatim.
+_STAT_COUNTERS = (
+    "cycles",
+    "committed",
+    "fetched",
+    "dispatched",
+    "issued",
+    "replayed",
+    "load_miss_replays",
+    "tag_elim_misschedules",
+    "branch_mispredicts",
+    "branches",
+    "two_source_dispatched",
+    "two_pending_observed",
+    "rf_back_to_back",
+    "rf_two_ready",
+    "rf_non_back_to_back",
+    "seq_wakeup_slow_initiations",
+    "simultaneous_wakeups",
+    "last_arrival_mispredictions",
+    "last_arrival_predictions",
+    "sequential_rf_accesses",
+    "rename_port_stalls",
+    "double_bypass_delays",
+)
+
+_ORDER_COUNTERS = ("same_order", "diff_order", "last_left", "last_right", "simultaneous")
+
+
+def _bank_to_record(bank) -> dict:
+    return {
+        "samples": bank.samples,
+        "predictors": {
+            str(key): {"predictions": p.predictions, "correct": p.correct}
+            for key, p in bank.predictors.items()
+        },
+    }
+
+
+def serialize_result(result: SimulationResult) -> dict:
+    """Flatten a result to a JSON-compatible dict."""
+    stats = result.stats
+    record: dict = {
+        "config_name": result.config_name,
+        "workload_name": result.workload_name,
+        "total_committed": result.total_committed,
+        "total_cycles": result.total_cycles,
+        "counters": {name: getattr(stats, name) for name in _STAT_COUNTERS},
+        "ready_at_insert": {str(k): v for k, v in stats.ready_at_insert.items()},
+        "wakeup_slack": {str(k): v for k, v in stats.wakeup_slack.items()},
+        "order": {name: getattr(stats.order, name) for name in _ORDER_COUNTERS},
+        "shadow_bank": None,
+        "design_bank": None,
+    }
+    if stats.shadow_bank is not None:
+        shadow = _bank_to_record(stats.shadow_bank)
+        shadow["simultaneous"] = stats.shadow_bank.simultaneous
+        record["shadow_bank"] = shadow
+    if stats.design_bank is not None:
+        record["design_bank"] = _bank_to_record(stats.design_bank)
+    return record
+
+
+def deserialize_result(record: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`serialize_result`."""
+    stats = SimStats()
+    for name in _STAT_COUNTERS:
+        setattr(stats, name, record["counters"][name])
+    stats.ready_at_insert = Counter({int(k): v for k, v in record["ready_at_insert"].items()})
+    stats.wakeup_slack = Counter({int(k): v for k, v in record["wakeup_slack"].items()})
+    order = WakeupOrderStats()
+    for name in _ORDER_COUNTERS:
+        setattr(order, name, record["order"][name])
+    stats.order = order
+    shadow = record.get("shadow_bank")
+    if shadow is not None:
+        sizes = tuple(sorted(int(k) for k in shadow["predictors"]))
+        bank = ShadowPredictorBank(sizes)
+        bank.samples = shadow["samples"]
+        bank.simultaneous = shadow["simultaneous"]
+        for key, counts in shadow["predictors"].items():
+            predictor = bank.predictors[int(key)]
+            predictor.predictions = counts["predictions"]
+            predictor.correct = counts["correct"]
+        stats.shadow_bank = bank
+    design = record.get("design_bank")
+    if design is not None:
+        bank = DesignComparisonBank()
+        bank.samples = design["samples"]
+        for name, counts in design["predictors"].items():
+            predictor = bank.predictors.get(name)
+            if predictor is not None:
+                predictor.predictions = counts["predictions"]
+                predictor.correct = counts["correct"]
+        stats.design_bank = bank
+    return SimulationResult(
+        config_name=record["config_name"],
+        workload_name=record["workload_name"],
+        stats=stats,
+        total_committed=record["total_committed"],
+        total_cycles=record["total_cycles"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Disk store
+# ----------------------------------------------------------------------
+def _repo_root() -> Path:
+    """Walk up from this file to the directory holding pyproject.toml."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent
+    return Path.cwd()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return Path(env)
+    return _repo_root() / "results" / "cache"
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+class ResultCache:
+    """Directory of JSON simulation records keyed by input fingerprint."""
+
+    def __init__(self, directory: Path | str | None = None):
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def from_env(cls) -> "ResultCache | None":
+        """Build the cache the environment asks for (None = disabled)."""
+        return cls() if cache_enabled() else None
+
+    # ------------------------------------------------------------------
+    def _path(self, benchmark: str, config_name: str, seed: int, digest: str) -> Path:
+        # Human-scannable prefix + digest; the digest alone carries identity.
+        safe_config = config_name.replace("/", "_").replace(" ", "_")
+        return self.directory / f"{benchmark}__{safe_config}__s{seed}__{digest[:20]}.json"
+
+    def load(
+        self,
+        benchmark: str,
+        seed: int,
+        insts: int,
+        warmup: int,
+        config: MachineConfig,
+        shadow_sizes: tuple[int, ...] | None,
+    ) -> SimulationResult | None:
+        """Return the cached result for these inputs, or None on a miss."""
+        digest = fingerprint(benchmark, seed, insts, warmup, config, shadow_sizes)
+        path = self._path(benchmark, config.name, seed, digest)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if record.get("fingerprint") != digest:  # pragma: no cover - paranoia
+            self.misses += 1
+            return None
+        self.hits += 1
+        return deserialize_result(record)
+
+    def store(
+        self,
+        benchmark: str,
+        seed: int,
+        insts: int,
+        warmup: int,
+        config: MachineConfig,
+        shadow_sizes: tuple[int, ...] | None,
+        result: SimulationResult,
+    ) -> Path:
+        """Persist one result (atomic write: temp file + rename)."""
+        digest = fingerprint(benchmark, seed, insts, warmup, config, shadow_sizes)
+        record = serialize_result(result)
+        record["fingerprint"] = digest
+        record["benchmark"] = benchmark
+        record["seed"] = seed
+        record["insts"] = insts
+        record["warmup"] = warmup
+        record["model_version"] = TIMING_MODEL_VERSION
+        path = self._path(benchmark, config.name, seed, digest)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path

@@ -55,6 +55,18 @@ def table1(runner: ExperimentRunner | None = None) -> ExperimentResult:
     return result
 
 
+def _prefetch_base(runner: ExperimentRunner, widths=(4,), shadow: bool = False) -> None:
+    """Fan the base-machine runs a figure needs through the parallel engine."""
+    configs = {4: FOUR_WIDE, 8: EIGHT_WIDE}
+    runner.prefetch(
+        [
+            (name, configs[width], runner.seed, shadow)
+            for name in runner.benchmarks
+            for width in widths
+        ]
+    )
+
+
 def table2(runner: ExperimentRunner) -> ExperimentResult:
     """Table 2: per-benchmark base IPC on the 4- and 8-wide machines."""
     result = ExperimentResult(
@@ -63,6 +75,7 @@ def table2(runner: ExperimentRunner) -> ExperimentResult:
         ["benchmark", "input set", "ipc4", "paper ipc4", "ipc8", "paper ipc8"],
         notes=["workloads are synthetic clones; see DESIGN.md §3"],
     )
+    _prefetch_base(runner, widths=(4, 8))
     for name in runner.benchmarks:
         paper = get_profile(name).paper
         result.rows.append(
@@ -131,6 +144,7 @@ def fig4(runner: ExperimentRunner) -> ExperimentResult:
         "Ready operands at insert (paper: 4~16% have 0 ready)",
         ["benchmark", "%0-ready(4w)", "%1-ready(4w)", "%2-ready(4w)", "%0-ready(8w)"],
     )
+    _prefetch_base(runner, widths=(4, 8))
     for name in runner.benchmarks:
         stats4 = runner.base(name, 4).stats
         stats8 = runner.base(name, 8).stats
@@ -154,6 +168,7 @@ def fig6(runner: ExperimentRunner) -> ExperimentResult:
         "Wakeup slack of 2-pending-source insts (paper: <3% simultaneous)",
         ["benchmark", "%slack0(simult)", "%slack1", "%slack2", "%slack3+"],
     )
+    _prefetch_base(runner)
     for name in runner.benchmarks:
         stats = runner.base(name, 4).stats
         total = max(1, stats.two_pending_observed)
@@ -182,6 +197,7 @@ def table3(runner: ExperimentRunner) -> ExperimentResult:
             "%same(8w)", "paper8", "%left(8w)", "paper8(l)",
         ],
     )
+    _prefetch_base(runner, widths=(4, 8))
     for name in runner.benchmarks:
         paper = get_profile(name).paper
         order4 = runner.base(name, 4).stats.order
@@ -207,6 +223,7 @@ def fig7(runner: ExperimentRunner) -> ExperimentResult:
         headers,
         notes=["accuracy over non-simultaneous 2-pending wakeups"],
     )
+    _prefetch_base(runner, shadow=True)
     for name in runner.benchmarks:
         stats = runner.base(name, 4, shadow=True).stats
         bank = stats.shadow_bank
@@ -227,6 +244,7 @@ def fig10(runner: ExperimentRunner) -> ExperimentResult:
         ["benchmark", "%back-to-back", "%2-ready", "%non-b2b", "%needs-2-reads"],
         notes=["percentages of all committed instructions, 4-wide base"],
     )
+    _prefetch_base(runner)
     for name in runner.benchmarks:
         stats = runner.base(name, 4).stats
         total = max(1, stats.committed)
@@ -246,6 +264,17 @@ def fig10(runner: ExperimentRunner) -> ExperimentResult:
 # Figures 14 / 15 / 16: the performance evaluation.
 # ----------------------------------------------------------------------
 def _normalized_rows(runner, variants: dict[str, MachineConfig]) -> list[list]:
+    # Every (benchmark, config, seed) cell is independent: resolve them all
+    # through the parallel engine up front, then aggregate from the cache.
+    bases = {config.width: FOUR_WIDE if config.width == 4 else EIGHT_WIDE
+             for config in variants.values()}
+    requests = [
+        (name, config, seed, False)
+        for name in runner.benchmarks
+        for seed in runner.seeds
+        for config in list(bases.values()) + list(variants.values())
+    ]
+    runner.prefetch(requests)
     rows = []
     for name in runner.benchmarks:
         row = [name]
@@ -366,6 +395,7 @@ def predictor_designs(runner: ExperimentRunner) -> ExperimentResult:
         ["benchmark", "bimodal", "two-level", "gshare", "static-right"],
         notes=["the paper's conclusion: the simple bimodal design suffices"],
     )
+    _prefetch_base(runner, shadow=True)
     for name in runner.benchmarks:
         bank = runner.base(name, 4, shadow=True).stats.design_bank
         table = bank.accuracy_table()

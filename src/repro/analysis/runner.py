@@ -2,13 +2,20 @@
 
 A full figure regeneration needs up to 8 machine variants × 2 widths × 12
 benchmarks; base-machine results are shared between figures, so results are
-memoized by (benchmark, config, run length).  Environment knobs::
+served through three layers: an in-process memo table, a persistent on-disk
+JSON cache (:mod:`repro.analysis.cache`), and — only when both miss — a
+fresh simulation.  Independent misses can be computed in parallel with
+:meth:`ExperimentRunner.prefetch` (:mod:`repro.analysis.parallel`).
+See ``docs/PERFORMANCE.md`` for the full picture.  Environment knobs::
 
     REPRO_INSTS      measured instructions per run   (default 15000)
     REPRO_WARMUP     warmup instructions per run     (default 20000)
     REPRO_SEED       first workload seed             (default 42)
     REPRO_SEEDS      seeds averaged per IPC comparison (default 2)
     REPRO_BENCHMARKS comma-separated benchmark subset (default: all 12)
+    REPRO_JOBS       parallel simulation workers     (default: cpu count)
+    REPRO_CACHE      "0" disables the on-disk result cache (default on)
+    REPRO_CACHE_DIR  cache directory (default <repo>/results/cache)
 
 Normalized-IPC comparisons average over ``REPRO_SEEDS`` workload seeds:
 individual runs carry a percent-level scheduling-chaos noise (cache LRU
@@ -19,6 +26,8 @@ from __future__ import annotations
 
 import os
 
+from repro.analysis.cache import ResultCache
+from repro.analysis.parallel import Job, env_int, run_jobs
 from repro.pipeline.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
 from repro.pipeline.processor import Processor, SimulationResult
 from repro.workloads.profiles import SPEC_BENCHMARKS, get_profile
@@ -27,16 +36,18 @@ from repro.workloads.synthetic import SyntheticWorkload
 #: Figure 7's shadow predictor table sizes.
 SHADOW_SIZES = (128, 512, 1024, 4096)
 
-
-def _env_int(name: str, default: int) -> int:
-    try:
-        return int(os.environ.get(name, default))
-    except ValueError:
-        return default
+#: Backwards-compatible alias (the engine owns the canonical helper now).
+_env_int = env_int
 
 
 class ExperimentRunner:
-    """Runs and memoizes benchmark simulations."""
+    """Runs and memoizes benchmark simulations.
+
+    ``result()`` is a thin read-through: in-memory memo first (same-object
+    returns within a session), then the on-disk cache, and a simulation
+    only when both miss.  ``prefetch()`` batches the missing runs through
+    the parallel engine so later ``result()`` calls are pure lookups.
+    """
 
     def __init__(
         self,
@@ -45,16 +56,26 @@ class ExperimentRunner:
         seed: int | None = None,
         benchmarks: tuple[str, ...] | None = None,
         num_seeds: int | None = None,
+        jobs: int | None = None,
+        cache: ResultCache | None | bool = True,
     ):
-        self.insts = insts if insts is not None else _env_int("REPRO_INSTS", 15_000)
-        self.warmup = warmup if warmup is not None else _env_int("REPRO_WARMUP", 20_000)
-        self.seed = seed if seed is not None else _env_int("REPRO_SEED", 42)
-        count = num_seeds if num_seeds is not None else _env_int("REPRO_SEEDS", 2)
+        self.insts = insts if insts is not None else env_int("REPRO_INSTS", 15_000)
+        self.warmup = warmup if warmup is not None else env_int("REPRO_WARMUP", 20_000)
+        self.seed = seed if seed is not None else env_int("REPRO_SEED", 42)
+        count = num_seeds if num_seeds is not None else env_int("REPRO_SEEDS", 2)
         self.seeds = tuple(self.seed + index for index in range(max(1, count)))
         if benchmarks is None:
             env = os.environ.get("REPRO_BENCHMARKS", "")
             benchmarks = tuple(b for b in env.split(",") if b) or SPEC_BENCHMARKS
         self.benchmarks = benchmarks
+        #: worker count for prefetch batches (None = resolve from env)
+        self.jobs = jobs
+        if cache is True:
+            self.cache: ResultCache | None = ResultCache.from_env()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
         self._workloads: dict[tuple[str, int], SyntheticWorkload] = {}
         self._results: dict[tuple, SimulationResult] = {}
 
@@ -65,6 +86,13 @@ class ExperimentRunner:
             self._workloads[key] = SyntheticWorkload(get_profile(benchmark), seed=key[1])
         return self._workloads[key]
 
+    # ------------------------------------------------------------------
+    def _key(self, benchmark: str, config: MachineConfig, seed: int, shadow: bool) -> tuple:
+        return (benchmark, seed, config.name, config.width, self.insts, self.warmup, shadow)
+
+    def _shadow_sizes(self, shadow: bool) -> tuple[int, ...] | None:
+        return SHADOW_SIZES if shadow else None
+
     def result(
         self,
         benchmark: str,
@@ -72,18 +100,95 @@ class ExperimentRunner:
         shadow: bool = False,
         seed: int | None = None,
     ) -> SimulationResult:
-        """Run (or fetch the memoized) simulation of one benchmark."""
+        """Serve one benchmark simulation: memory -> disk -> compute."""
         seed = seed if seed is not None else self.seed
-        key = (benchmark, seed, config.name, config.width, self.insts, self.warmup, shadow)
-        if key not in self._results:
-            processor = Processor(
-                self.workload(benchmark, seed),
-                config,
-                shadow_sizes=SHADOW_SIZES if shadow else None,
+        key = self._key(benchmark, config, seed, shadow)
+        found = self._results.get(key)
+        if found is not None:
+            return found
+        shadow_sizes = self._shadow_sizes(shadow)
+        if self.cache is not None:
+            found = self.cache.load(
+                benchmark, seed, self.insts, self.warmup, config, shadow_sizes
             )
-            self._results[key] = processor.run(max_insts=self.insts, warmup=self.warmup)
-        return self._results[key]
+            if found is not None:
+                self._results[key] = found
+                return found
+        processor = Processor(
+            self.workload(benchmark, seed), config, shadow_sizes=shadow_sizes
+        )
+        found = processor.run(max_insts=self.insts, warmup=self.warmup)
+        self._results[key] = found
+        if self.cache is not None:
+            self.cache.store(
+                benchmark, seed, self.insts, self.warmup, config, shadow_sizes, found
+            )
+        return found
 
+    # ------------------------------------------------------------------
+    def prefetch(
+        self,
+        requests: list[tuple[str, MachineConfig, int, bool]],
+        workers: int | None = None,
+    ) -> int:
+        """Bulk-resolve ``(benchmark, config, seed, shadow)`` requests.
+
+        Requests already served by the memory or disk layers are skipped;
+        the rest fan out over the parallel engine (worker count: explicit
+        *workers*, else the runner's ``jobs``, else ``REPRO_JOBS``/CPU
+        count).  Returns the number of simulations actually executed.
+        Results land in both cache layers, so later ``result()`` calls for
+        the same keys are pure lookups — and deterministic job ordering
+        makes every aggregate identical to a serial run.
+        """
+        pending: list[tuple[tuple, Job]] = []
+        seen: set[tuple] = set()
+        for benchmark, config, seed, shadow in requests:
+            key = self._key(benchmark, config, seed, shadow)
+            if key in seen or key in self._results:
+                continue
+            shadow_sizes = self._shadow_sizes(shadow)
+            if self.cache is not None:
+                found = self.cache.load(
+                    benchmark, seed, self.insts, self.warmup, config, shadow_sizes
+                )
+                if found is not None:
+                    self._results[key] = found
+                    continue
+            seen.add(key)
+            pending.append(
+                (key, Job(benchmark, config, seed, self.insts, self.warmup, shadow_sizes))
+            )
+        if not pending:
+            return 0
+        workers = workers if workers is not None else self.jobs
+        results = run_jobs([job for _, job in pending], workers=workers)
+        for (key, job), result in zip(pending, results):
+            self._results[key] = result
+            if self.cache is not None:
+                self.cache.store(
+                    job.benchmark,
+                    job.seed,
+                    job.insts,
+                    job.warmup,
+                    job.config,
+                    job.shadow_sizes,
+                    result,
+                )
+        return len(pending)
+
+    def prefetch_base(self, workers: int | None = None) -> int:
+        """Warm every base-machine run the standard figures lean on."""
+        requests: list[tuple[str, MachineConfig, int, bool]] = []
+        for benchmark in self.benchmarks:
+            for seed in self.seeds:
+                requests.append((benchmark, FOUR_WIDE, seed, False))
+                requests.append((benchmark, EIGHT_WIDE, seed, False))
+            # Figure 7 / Table 3 read the shadow bank of the first seed.
+            requests.append((benchmark, FOUR_WIDE, self.seed, True))
+        return self.prefetch(requests, workers=workers)
+
+    # ------------------------------------------------------------------
     def base(self, benchmark: str, width: int = 4, shadow: bool = False) -> SimulationResult:
         """Base-machine result at the requested width (first seed)."""
         return self.result(benchmark, FOUR_WIDE if width == 4 else EIGHT_WIDE, shadow)

@@ -27,6 +27,9 @@ def sweep(
     ``metric`` receives a SimulationResult and defaults to IPC.
     """
     metric = metric or (lambda result: result.ipc)
+    runner.prefetch(
+        [(benchmark, config, runner.seed, False) for config in configs.values()]
+    )
     return {
         label: metric(runner.result(benchmark, config))
         for label, config in configs.items()
@@ -49,12 +52,18 @@ def window_size_sweep(
         f"IPC vs. window size ({benchmark}, 4-wide)",
         ["window", "base ipc", "seq wakeup ipc", "normalized"],
     )
+    points = []
     for size in sizes:
         base = dataclasses.replace(
             FOUR_WIDE, ruu_size=size, lsq_size=max(4, size // 2),
             name=f"4-wide-w{size}",
         )
-        seq = base.with_techniques(scheduler=SchedulerModel.SEQ_WAKEUP)
+        points.append((size, base, base.with_techniques(scheduler=SchedulerModel.SEQ_WAKEUP)))
+    runner.prefetch(
+        [(benchmark, config, runner.seed, False)
+         for _, base, seq in points for config in (base, seq)]
+    )
+    for size, base, seq in points:
         base_ipc = runner.result(benchmark, base).ipc
         seq_ipc = runner.result(benchmark, seq).ipc
         result.rows.append(
@@ -74,6 +83,7 @@ def width_sweep(
         f"Sequential wakeup cost vs. width ({benchmark})",
         ["width", "base ipc", "seq wakeup normalized"],
     )
+    points = []
     for width in widths:
         base = dataclasses.replace(
             FOUR_WIDE,
@@ -90,7 +100,12 @@ def width_sweep(
             ),
             name=f"{width}-wide-sweep",
         )
-        seq = base.with_techniques(scheduler=SchedulerModel.SEQ_WAKEUP)
+        points.append((width, base, base.with_techniques(scheduler=SchedulerModel.SEQ_WAKEUP)))
+    runner.prefetch(
+        [(benchmark, config, runner.seed, False)
+         for _, base, seq in points for config in (base, seq)]
+    )
+    for width, base, seq in points:
         base_ipc = runner.result(benchmark, base).ipc
         seq_ipc = runner.result(benchmark, seq).ipc
         result.rows.append(

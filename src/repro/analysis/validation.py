@@ -108,6 +108,9 @@ def scorecard(runner: ExperimentRunner) -> ExperimentResult:
         "Shape-preservation checks against the paper's conclusions",
         ["check", "verdict", "detail", "paper claim"],
     )
+    # The checks share the base-machine runs; resolve them all through the
+    # parallel engine before any check starts pulling results one by one.
+    runner.prefetch_base()
     for check in ALL_CHECKS:
         ok, detail = check.predicate(runner)
         result.rows.append(

@@ -5,7 +5,11 @@ Commands:
 * ``list`` — show available benchmarks, kernels and experiments;
 * ``run`` — simulate a synthetic benchmark on a configured machine;
 * ``kernel`` — run an assembly kernel (optionally with a pipeline trace);
-* ``experiment`` — regenerate one or more of the paper's tables/figures.
+* ``experiment`` — regenerate one or more of the paper's tables/figures;
+* ``prefetch`` — warm the on-disk result cache with the base-machine runs.
+
+``experiment`` and ``prefetch`` accept ``--jobs N`` to fan independent
+simulations over N worker processes (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -117,6 +121,7 @@ def _cmd_experiment(args) -> int:
         insts=args.insts,
         warmup=args.warmup,
         benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks else None,
+        jobs=args.jobs,
     )
     names = list(experiment_defs.ALL_EXPERIMENTS) if "all" in args.ids else args.ids
     for name in names:
@@ -126,6 +131,23 @@ def _cmd_experiment(args) -> int:
             return 2
         print(render(function(runner)))
         print()
+    return 0
+
+
+def _cmd_prefetch(args) -> int:
+    runner = ExperimentRunner(
+        insts=args.insts,
+        warmup=args.warmup,
+        benchmarks=tuple(args.benchmarks.split(",")) if args.benchmarks else None,
+        jobs=args.jobs,
+    )
+    if runner.cache is None:
+        print("result cache is disabled (REPRO_CACHE=0); nothing to warm")
+        return 2
+    executed = runner.prefetch_base()
+    print(f"cache dir: {runner.cache.directory}")
+    print(f"simulated: {executed}")
+    print(f"served from disk: {runner.cache.hits}")
     return 0
 
 
@@ -162,6 +184,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--insts", type=int, default=None)
     experiment_parser.add_argument("--warmup", type=int, default=None)
     experiment_parser.add_argument("--benchmarks", default=None)
+    experiment_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs (default: REPRO_JOBS/CPUs)",
+    )
+
+    prefetch_parser = subparsers.add_parser(
+        "prefetch", help="warm the on-disk result cache with base-machine runs"
+    )
+    prefetch_parser.add_argument("--insts", type=int, default=None)
+    prefetch_parser.add_argument("--warmup", type=int, default=None)
+    prefetch_parser.add_argument("--benchmarks", default=None)
+    prefetch_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs (default: REPRO_JOBS/CPUs)",
+    )
 
     return parser
 
@@ -173,6 +210,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "kernel": _cmd_kernel,
         "experiment": _cmd_experiment,
+        "prefetch": _cmd_prefetch,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,64 @@
+"""Per-cycle event calendar backed by a power-of-two ring of buckets.
+
+The processor schedules every future event (tag broadcasts, slow-bus
+wakeups, completions, replay kills) at an absolute cycle and drains exactly
+one cycle per simulated cycle.  A dict keyed by cycle works but pays a hash
+lookup (plus ``setdefault`` list allocation) per event and per drain; since
+the scheduling horizon is bounded by the machine's worst-case latency, a
+ring of pre-allocated buckets indexed by ``cycle & mask`` is cheaper.
+
+Events scheduled beyond the ring's horizon (possible only with extreme
+custom latencies) spill into an overflow dict that is consulted on drain,
+so correctness never depends on the horizon estimate.
+"""
+
+from __future__ import annotations
+
+_EMPTY: list = []
+
+
+class EventRing:
+    """Cycle-indexed event buckets for a monotonically advancing clock.
+
+    The caller must drain cycles in strictly increasing order and only
+    schedule events for cycles later than the one currently being drained
+    (both naturally true of the processor's event calendars: every delay
+    is at least one cycle).
+    """
+
+    __slots__ = ("_mask", "_size", "_buckets", "_overflow")
+
+    def __init__(self, horizon: int):
+        size = 1 << max(3, (max(1, horizon) - 1).bit_length())
+        self._mask = size - 1
+        self._size = size
+        self._buckets: list[list] = [[] for _ in range(size)]
+        self._overflow: dict[int, list] = {}
+
+    def schedule(self, now: int, cycle: int, item) -> None:
+        """Enqueue *item* for *cycle* (must be > *now*)."""
+        if cycle - now < self._size:
+            self._buckets[cycle & self._mask].append(item)
+        else:
+            self._overflow.setdefault(cycle, []).append(item)
+
+    def pop(self, cycle: int) -> list:
+        """Remove and return every event scheduled for *cycle*.
+
+        Returns the bucket list itself (a fresh list replaces it), so the
+        caller may iterate without copying; an empty shared list is
+        returned when nothing is due.
+        """
+        index = cycle & self._mask
+        bucket = self._buckets[index]
+        if self._overflow:
+            extra = self._overflow.pop(cycle, None)
+            if extra is not None:
+                bucket.extend(extra)
+        if not bucket:
+            return _EMPTY
+        self._buckets[index] = []
+        return bucket
+
+    def __bool__(self) -> bool:  # pragma: no cover - debugging nicety
+        return bool(self._overflow) or any(self._buckets)

@@ -11,7 +11,18 @@ from __future__ import annotations
 import enum
 
 from repro.core.last_arrival import OperandSide
+from repro.isa.opcodes import OpClass
 from repro.workloads.trace import DynOp
+
+#: Instruction classes with elevated select priority (the paper's
+#: oldest-first policy with loads and branches outranking the rest; the
+#: select logic in :mod:`repro.core.select` re-exports this).
+PRIORITY_CLASSES = frozenset((OpClass.LOAD, OpClass.BRANCH, OpClass.JUMP))
+
+#: OpClass.idx -> select-key rank (0 = priority class, 1 = the rest).
+_RANK_BY_IDX: tuple[int, ...] = tuple(
+    0 if op_class in PRIORITY_CLASSES else 1 for op_class in OpClass
+)
 
 
 class EntryState(enum.Enum):
@@ -99,6 +110,8 @@ class IQEntry:
         "in_ready",
         "rf_category",
         "slot",
+        "select_key",
+        "is_two_source",
     )
 
     def __init__(
@@ -112,6 +125,9 @@ class IQEntry:
         self.op = op
         self.tag = tag
         self.operands = operands
+        #: the operand list is fixed for the entry's lifetime, so this is a
+        #: plain attribute rather than a property (hot in wakeup logic)
+        self.is_two_source = len(operands) == 2
         self.mem_dep_tag: int | None = None
         self.mem_dep_ready = True
         self.state = EntryState.WAITING
@@ -131,7 +147,11 @@ class IQEntry:
         #: first issue — the line fill stays in flight across replays)
         self.mem_fill_cycle: int | None = None
         # -- statistics captured once, at first events ------------------
-        self.stat_ready_at_insert = sum(1 for o in operands if o.ready_at_insert)
+        ready_at_insert = 0
+        for operand in operands:
+            if operand.ready_at_insert:
+                ready_at_insert += 1
+        self.stat_ready_at_insert = ready_at_insert
         self.stat_wakeup_recorded = False
         self.stat_issued_once = False
         #: incremented on every (re)issue; guards stale scheduled events
@@ -144,12 +164,12 @@ class IQEntry:
         self.rf_category: str | None = None
         #: issue slot taken at the most recent issue (Figure 5 column)
         self.slot = -1
+        #: precomputed selection-order key (priority class, then age);
+        #: immutable over the entry's lifetime, so the per-cycle candidate
+        #: sort avoids recomputing it
+        self.select_key = (_RANK_BY_IDX[op.op_class.idx], tag)
 
     # ------------------------------------------------------------------
-    @property
-    def is_two_source(self) -> bool:
-        return len(self.operands) == 2
-
     @property
     def is_two_pending(self) -> bool:
         """Two operands, neither ready at insert (Figure 4 bottom bars)."""
@@ -162,7 +182,12 @@ class IQEntry:
         return None
 
     def all_register_operands_ready(self) -> bool:
-        return all(operand.ready for operand in self.operands)
+        # Explicit loop: a generator expression costs a frame per call, and
+        # this sits on the wakeup/select critical path.
+        for operand in self.operands:
+            if not operand.ready:
+                return False
+        return True
 
     def pending_operands(self) -> list[Operand]:
         return [operand for operand in self.operands if not operand.ready]

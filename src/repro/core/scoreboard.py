@@ -44,6 +44,8 @@ class TagRecord:
 class Scoreboard:
     """Tag table shared by rename, wakeup and replay."""
 
+    __slots__ = ("_records",)
+
     def __init__(self):
         self._records: dict[int, TagRecord] = {}
 

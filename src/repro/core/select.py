@@ -10,17 +10,20 @@ sequential register access disables exactly one slot for one cycle
 
 from __future__ import annotations
 
-from repro.core.iq import IQEntry
-from repro.isa.opcodes import OpClass
+from repro.core.iq import PRIORITY_CLASSES, IQEntry
 
-#: Instruction classes with elevated select priority.
-_PRIORITY_CLASSES = (OpClass.LOAD, OpClass.BRANCH, OpClass.JUMP)
+#: Instruction classes with elevated select priority (defined next to the
+#: entry so IQEntry can precompute its sort key without an import cycle).
+_PRIORITY_CLASSES = tuple(PRIORITY_CLASSES)
 
 
 def select_priority(entry: IQEntry) -> tuple[int, int]:
-    """Sort key implementing the paper's selection policy."""
-    high = 0 if entry.op.op_class in _PRIORITY_CLASSES else 1
-    return (high, entry.tag)
+    """Sort key implementing the paper's selection policy.
+
+    The key is precomputed at insert (:attr:`IQEntry.select_key`); the
+    per-cycle sort in the processor uses the attribute directly.
+    """
+    return entry.select_key
 
 
 class Selector:
@@ -30,6 +33,8 @@ class Selector:
     register accesses issued the previous cycle) and hands out free slots
     in order.
     """
+
+    __slots__ = ("width", "_disabled_now", "_disable_next")
 
     def __init__(self, width: int):
         self.width = width

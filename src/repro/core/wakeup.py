@@ -54,7 +54,14 @@ class WakeupLogic:
         return 0
 
     def entry_ready(self, entry: IQEntry) -> bool:
-        return entry.all_register_operands_ready() and entry.mem_dep_ready
+        # Flattened all_register_operands_ready() + mem_dep_ready: this is
+        # the single most-called predicate in the simulator.
+        if not entry.mem_dep_ready:
+            return False
+        for operand in entry.operands:
+            if not operand.ready:
+                return False
+        return True
 
     def verify_at_issue(self, entry: IQEntry, scoreboard: Scoreboard, cycle: int) -> bool:
         """Return True if the issue is legal (always, for non-speculative

@@ -38,6 +38,13 @@ class OpClass(enum.Enum):
         return self in (OpClass.BRANCH, OpClass.JUMP)
 
 
+# Dense integer index per class, for list-based lookup tables in the hot
+# simulation loop (enum hashing is measurably slow in CPython).
+for _index, _member in enumerate(OpClass):
+    _member.idx = _index
+del _index, _member
+
+
 class Format(enum.Enum):
     """Instruction encoding format (number and role of register fields).
 

@@ -64,6 +64,8 @@ class CacheStats:
 class Cache:
     """One level of set-associative cache with LRU replacement."""
 
+    __slots__ = ("config", "stats", "_line_shift", "_set_mask", "_sets")
+
     def __init__(self, config: CacheConfig):
         self.config = config
         self.stats = CacheStats()

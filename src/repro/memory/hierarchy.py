@@ -47,6 +47,8 @@ class MemoryHierarchy:
     model.
     """
 
+    __slots__ = ("config", "il1", "dl1", "l2")
+
     def __init__(self, config: MemoryHierarchyConfig | None = None):
         self.config = config or MemoryHierarchyConfig()
         self.il1 = Cache(self.config.il1)

@@ -123,23 +123,43 @@ class Latencies:
     branch: int = 1
     agen: int = 1
 
+    def __post_init__(self):
+        # The per-class table is rebuilt per call in the obvious spelling,
+        # and for_class sits on the issue path; cache it once per instance
+        # (object.__setattr__ because the dataclass is frozen).
+        object.__setattr__(
+            self,
+            "_by_class",
+            {
+                OpClass.INT_ALU: self.int_alu,
+                OpClass.FP_ALU: self.fp_alu,
+                OpClass.INT_MULT: self.int_mult,
+                OpClass.INT_DIV: self.int_div,
+                OpClass.FP_MULT: self.fp_mult,
+                OpClass.FP_DIV: self.fp_div,
+                OpClass.BRANCH: self.branch,
+                OpClass.JUMP: self.branch,
+                OpClass.STORE: self.agen,
+                OpClass.LOAD: self.agen,  # address generation part only
+            },
+        )
+        # Dense-index variant of the same table (OpClass.idx -> latency):
+        # list indexing skips enum hashing on the issue path.
+        by_index: list[int | None] = [None] * len(OpClass)
+        for op_class, latency in self._by_class.items():
+            by_index[op_class.idx] = latency
+        object.__setattr__(self, "_by_index", by_index)
+
+    @property
+    def worst_case(self) -> int:
+        """Largest single-operation latency (event-horizon sizing)."""
+        return max(self._by_class.values())
+
     def for_class(self, op_class: OpClass) -> int:
-        table = {
-            OpClass.INT_ALU: self.int_alu,
-            OpClass.FP_ALU: self.fp_alu,
-            OpClass.INT_MULT: self.int_mult,
-            OpClass.INT_DIV: self.int_div,
-            OpClass.FP_MULT: self.fp_mult,
-            OpClass.FP_DIV: self.fp_div,
-            OpClass.BRANCH: self.branch,
-            OpClass.JUMP: self.branch,
-            OpClass.STORE: self.agen,
-            OpClass.LOAD: self.agen,  # address generation part only
-        }
-        try:
-            return table[op_class]
-        except KeyError:
-            raise ConfigurationError(f"no latency for {op_class}") from None
+        latency = self._by_index[op_class.idx]
+        if latency is None:
+            raise ConfigurationError(f"no latency for {op_class}")
+        return latency
 
 
 @dataclass(frozen=True)

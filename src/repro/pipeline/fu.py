@@ -13,55 +13,73 @@ from repro.pipeline.config import FunctionalUnitPool, Latencies
 #: Non-pipelined operation classes (occupy the unit for the full latency).
 _NON_PIPELINED = (OpClass.INT_DIV, OpClass.FP_DIV)
 
+#: Pool indices (issue bandwidth is tracked per pool, in flat lists).
+_INT_ALU, _FP_ALU, _INT_MULT, _FP_MULT, _MEM = range(5)
+
 #: Map from op class to the pool it shares issue bandwidth with.
 _POOL_OF = {
-    OpClass.INT_ALU: "int_alu",
-    OpClass.BRANCH: "int_alu",
-    OpClass.JUMP: "int_alu",
-    OpClass.FP_ALU: "fp_alu",
-    OpClass.INT_MULT: "int_mult",
-    OpClass.INT_DIV: "int_mult",
-    OpClass.FP_MULT: "fp_mult",
-    OpClass.FP_DIV: "fp_mult",
-    OpClass.LOAD: "mem",
-    OpClass.STORE: "mem",
+    OpClass.INT_ALU: _INT_ALU,
+    OpClass.BRANCH: _INT_ALU,
+    OpClass.JUMP: _INT_ALU,
+    OpClass.FP_ALU: _FP_ALU,
+    OpClass.INT_MULT: _INT_MULT,
+    OpClass.INT_DIV: _INT_MULT,
+    OpClass.FP_MULT: _FP_MULT,
+    OpClass.FP_DIV: _FP_MULT,
+    OpClass.LOAD: _MEM,
+    OpClass.STORE: _MEM,
 }
+
+#: Same map with dense OpClass.idx keys (hot path: no enum hashing).
+_POOL_BY_IDX: tuple[int | None, ...] = tuple(
+    _POOL_OF.get(op_class) for op_class in OpClass
+)
+
+#: OpClass.idx -> True for non-pipelined classes.
+_NON_PIPELINED_BY_IDX: tuple[bool, ...] = tuple(
+    op_class in _NON_PIPELINED for op_class in OpClass
+)
 
 
 class FunctionalUnits:
     """Tracks per-cycle issue counts and divider busy windows."""
 
+    __slots__ = ("_counts", "_lat", "_issued_this_cycle", "_busy_until")
+
     def __init__(self, pool: FunctionalUnitPool, latencies: Latencies):
-        self._counts = {
-            "int_alu": pool.int_alu,
-            "fp_alu": pool.fp_alu,
-            "int_mult": pool.int_mult,
-            "fp_mult": pool.fp_mult,
-            "mem": pool.mem_ports,
-        }
+        self._counts = [
+            pool.int_alu,
+            pool.fp_alu,
+            pool.int_mult,
+            pool.fp_mult,
+            pool.mem_ports,
+        ]
         self._lat = latencies
-        self._issued_this_cycle = {name: 0 for name in self._counts}
+        self._issued_this_cycle = [0] * 5
         #: per pool: cycles at which busy (non-pipelined) units free up
-        self._busy_until: dict[str, list[int]] = {name: [] for name in self._counts}
+        self._busy_until: list[list[int]] = [[] for _ in range(5)]
 
     def begin_cycle(self, now: int) -> None:
-        for name in self._issued_this_cycle:
-            self._issued_this_cycle[name] = 0
-            busy = self._busy_until[name]
+        issued = self._issued_this_cycle
+        busy_until = self._busy_until
+        for index in range(5):
+            issued[index] = 0
+            busy = busy_until[index]
             if busy:
-                self._busy_until[name] = [c for c in busy if c > now]
+                busy_until[index] = [c for c in busy if c > now]
 
     # ------------------------------------------------------------------
     def can_issue(self, op_class: OpClass, now: int) -> bool:
-        pool = _POOL_OF[op_class]
+        pool = _POOL_BY_IDX[op_class.idx]
         in_use = self._issued_this_cycle[pool] + len(self._busy_until[pool])
         return in_use < self._counts[pool]
 
     def issue(self, op_class: OpClass, now: int) -> None:
-        pool = _POOL_OF[op_class]
+        idx = op_class.idx
+        pool = _POOL_BY_IDX[idx]
         self._issued_this_cycle[pool] += 1
-        if op_class in _NON_PIPELINED:
+        if _NON_PIPELINED_BY_IDX[idx]:
             self._busy_until[pool].append(now + self._lat.for_class(op_class))
 
     def pool_size(self, op_class: OpClass) -> int:
-        return self._counts[_POOL_OF[op_class]]
+        return self._counts[_POOL_BY_IDX[op_class.idx]]

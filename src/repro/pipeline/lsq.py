@@ -20,6 +20,8 @@ _WORD_MASK = ~7
 class LoadStoreQueue:
     """Fixed-capacity queue of in-flight memory instructions."""
 
+    __slots__ = ("capacity", "_entries")
+
     def __init__(self, capacity: int):
         self.capacity = capacity
         self._entries: deque[IQEntry] = deque()

@@ -12,14 +12,22 @@ issue-to-use latency *L* broadcasts its destination tag in cycle *t + L*;
 consumers woken by that broadcast may be selected in the same cycle (atomic
 wakeup+select), so dependent issue distance equals *L* exactly, as in the
 paper's Figure 9/12 examples.
+
+Implementation note: the inner loop is written for CPython speed — event
+calendars are :class:`~repro.core.event_ring.EventRing` buckets instead of
+dicts, selection sorts on a precomputed key, and hot methods hoist
+attribute lookups into locals.  None of this changes simulated timing;
+``tests/analysis/test_parallel_and_cache.py`` pins cycle-exact determinism.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from operator import attrgetter
 
 from repro.core.dependence_matrix import DependenceMatrix
+from repro.core.event_ring import EventRing
 from repro.core.iq import EntryState, IQEntry, Operand
 from repro.core.last_arrival import (
     DesignComparisonBank,
@@ -27,7 +35,7 @@ from repro.core.last_arrival import (
     ShadowPredictorBank,
 )
 from repro.core.scoreboard import Scoreboard
-from repro.core.select import Selector, select_priority
+from repro.core.select import Selector, select_priority  # noqa: F401 (re-export)
 from repro.core.wakeup import make_wakeup_logic
 from repro.errors import SimulationError
 from repro.frontend.branch_unit import BranchUnit
@@ -46,8 +54,16 @@ from repro.pipeline.rob import ReorderBuffer
 from repro.pipeline.stats import SimStats
 from repro.workloads.trace import DynOp
 
+#: Version stamp of the timing model, embedded in persisted result-cache
+#: fingerprints (see :mod:`repro.analysis.cache`).  **Bump this whenever a
+#: change alters simulated timing or statistics**, so stale on-disk results
+#: are never served.
+TIMING_MODEL_VERSION = 1
+
 #: Abort if no instruction commits for this many cycles (deadlock guard).
 _WATCHDOG_CYCLES = 50_000
+
+_SELECT_KEY = attrgetter("select_key")
 
 
 class _Kill:
@@ -79,6 +95,63 @@ class SimulationResult:
 
 class Processor:
     """One simulated machine instance bound to one instruction feed."""
+
+    __slots__ = (
+        "config",
+        "feed",
+        "stats",
+        "scoreboard",
+        "wakeup",
+        "selector",
+        "fu",
+        "rf_policy",
+        "branch_unit",
+        "memory",
+        "rob",
+        "lsq",
+        "now",
+        "_rename",
+        "_ready",
+        "_frontend",
+        "_predictions",
+        "_feed_iter",
+        "_next_op",
+        "_feed_done",
+        "_fetch_stalled_until",
+        "_fetch_blocked_on",
+        "_last_fetch_line",
+        "_pc_address",
+        "_broadcasts",
+        "_slow_wakeups",
+        "_completions",
+        "_kills",
+        "_total_committed",
+        "_last_commit_cycle",
+        "_non_selective",
+        "_half_rename",
+        "_half_bypass",
+        "_use_matrix",
+        "_matrix_depth",
+        "_active_kill_bit",
+        "matrix_mismatches",
+        "trace",
+        # -- hoisted hot-path bindings (see end of __init__) -------------
+        "_entry_ready",
+        "_verify_at_issue",
+        "_lat_for_class",
+        "_width",
+        "_front_depth",
+        "_exec_offset",
+        "_agen_lat",
+        "_assumed_load_latency",
+        "_load_spec_window",
+        "_tag_elim_detect",
+        "_dl1_latency",
+        "_pop_kills",
+        "_pop_slow_wakeups",
+        "_pop_broadcasts",
+        "_pop_completions",
+    )
 
     def __init__(
         self,
@@ -117,11 +190,27 @@ class Processor:
         self._last_fetch_line = -1
         self._pc_address = getattr(feed, "pc_address", lambda pc: pc * 4)
 
-        # Event calendars: cycle -> payload list.
-        self._broadcasts: dict[int, list] = {}
-        self._slow_wakeups: dict[int, list] = {}
-        self._completions: dict[int, list] = {}
-        self._kills: dict[int, list[_Kill]] = {}
+        # Event calendars: one ring bucket per future cycle.  The horizon
+        # bounds the farthest schedulable event (worst memory round trip
+        # plus the longest execution latency and pipeline offsets); events
+        # beyond it — possible only with extreme custom latencies — spill
+        # into the rings' overflow dicts.
+        mem = config.mem
+        horizon = (
+            config.lat.agen
+            + mem.dl1_latency
+            + mem.l2_latency
+            + mem.memory_latency
+            + config.lat.worst_case
+            + config.exec_offset
+            + config.load_spec_window
+            + config.tag_elim_detect_delay
+            + 8
+        )
+        self._broadcasts = EventRing(horizon)
+        self._slow_wakeups = EventRing(horizon)
+        self._completions = EventRing(horizon)
+        self._kills = EventRing(horizon)
 
         self._total_committed = 0
         self._last_commit_cycle = 0
@@ -136,6 +225,24 @@ class Processor:
         #: per-seq timing trace (tests and debugging): seq -> event dict
         self.trace: dict[int, dict] | None = {} if record_schedule else None
 
+        # Hot-path bindings: pre-resolved bound methods and config scalars,
+        # saving an attribute-chain walk per use inside the cycle loop.
+        self._entry_ready = self.wakeup.entry_ready
+        self._verify_at_issue = self.wakeup.verify_at_issue
+        self._lat_for_class = config.lat.for_class
+        self._width = config.width
+        self._front_depth = config.front_depth
+        self._exec_offset = config.exec_offset
+        self._agen_lat = config.lat.agen
+        self._assumed_load_latency = config.assumed_load_latency
+        self._load_spec_window = config.load_spec_window
+        self._tag_elim_detect = config.tag_elim_detect_delay
+        self._dl1_latency = mem.dl1_latency
+        self._pop_kills = self._kills.pop
+        self._pop_slow_wakeups = self._slow_wakeups.pop
+        self._pop_broadcasts = self._broadcasts.pop
+        self._pop_completions = self._completions.pop
+
     # ==================================================================
     # Main loop.
     # ==================================================================
@@ -143,20 +250,29 @@ class Processor:
         """Simulate until *max_insts* instructions commit after warmup."""
         measured_started = warmup == 0
         budget = max_insts + warmup
+        stats = self.stats
+        process_events = self._process_events
+        select_and_issue = self._select_and_issue
+        dispatch = self._dispatch
+        fetch = self._fetch
+        commit = self._commit
+        rob = self.rob
+        frontend = self._frontend
         while True:
             self.now += 1
-            self._process_events()
-            self._select_and_issue()
-            self._dispatch()
-            self._fetch()
-            self._commit()
-            self.stats.cycles += 1
-            if not measured_started and self._total_committed >= warmup:
-                self.stats.reset_window()
+            process_events()
+            select_and_issue()
+            dispatch()
+            fetch()
+            commit()
+            stats.cycles += 1
+            committed = self._total_committed
+            if not measured_started and committed >= warmup:
+                stats.reset_window()
                 measured_started = True
-            if self._total_committed >= budget:
+            if committed >= budget:
                 break
-            if self._feed_done and self.rob.empty and not self._frontend:
+            if self._feed_done and not frontend and rob.empty:
                 break
             if self.now - self._last_commit_cycle > _WATCHDOG_CYCLES:
                 raise SimulationError(
@@ -176,15 +292,16 @@ class Processor:
     # ==================================================================
     def _process_events(self) -> None:
         now = self.now
-        for kill in self._kills.pop(now, ()):
+        for kill in self._pop_kills(now):
             self._process_kill(kill)
-        for entry, op_index, tag in self._slow_wakeups.pop(now, ()):
+        for entry, op_index, tag in self._pop_slow_wakeups(now):
             self._deliver_slow(entry, op_index, tag)
-        for entry, epoch, data_valid in self._broadcasts.pop(now, ()):
+        for entry, epoch, data_valid in self._pop_broadcasts(now):
             if entry.epoch == epoch:
                 self._broadcast(entry, data_valid)
-        for entry, epoch in self._completions.pop(now, ()):
-            if entry.epoch == epoch and entry.state is EntryState.ISSUED:
+        issued = EntryState.ISSUED
+        for entry, epoch in self._pop_completions(now):
+            if entry.epoch == epoch and entry.state is issued:
                 self._complete(entry)
 
     def _broadcast_matrix(self, producer: IQEntry) -> DependenceMatrix:
@@ -222,11 +339,15 @@ class Processor:
             return
         if self._use_matrix:
             record.matrix_payload = self._broadcast_matrix(producer)
+        use_matrix = self._use_matrix
+        delivery_delay = self.wakeup.delivery_delay
+        slow_wakeups = self._slow_wakeups
+        maybe_ready = self._maybe_ready
         for entry, op_index in record.consumers:
             if op_index < 0:
                 if entry.mem_dep_tag == tag and not entry.mem_dep_ready:
                     entry.mem_dep_ready = True
-                    self._maybe_ready(entry)
+                    maybe_ready(entry)
                 continue
             operand = entry.operands[op_index]
             if operand.tag != tag:
@@ -236,16 +357,14 @@ class Processor:
                 self._maybe_record_wakeup_pair(entry)
             if operand.ready:
                 continue
-            delay = self.wakeup.delivery_delay(entry, operand)
+            delay = delivery_delay(entry, operand)
             if delay == 0:
                 operand.wake(now)
-                if self._use_matrix and self._operand_has_comparator(entry, operand):
+                if use_matrix and self._operand_has_comparator(entry, operand):
                     operand.matrix = record.matrix_payload
-                self._maybe_ready(entry)
+                maybe_ready(entry)
             else:
-                self._slow_wakeups.setdefault(now + delay, []).append(
-                    (entry, op_index, tag)
-                )
+                slow_wakeups.schedule(now, now + delay, (entry, op_index, tag))
 
     def _deliver_slow(self, entry: IQEntry, op_index: int, tag: int) -> None:
         """Slow-bus delivery, one cycle after the fast broadcast.
@@ -323,30 +442,36 @@ class Processor:
     # ==================================================================
     def _select_and_issue(self) -> None:
         now = self.now
-        self.selector.begin_cycle()
-        self.fu.begin_cycle(now)
-        self.rf_policy.begin_cycle()
-        if not self._ready:
+        selector = self.selector
+        fu = self.fu
+        rf_policy = self.rf_policy
+        selector.begin_cycle()
+        fu.begin_cycle(now)
+        rf_policy.begin_cycle()
+        ready = self._ready
+        if not ready:
             return
-        candidates = sorted(self._ready.values(), key=select_priority)
+        entry_ready = self._entry_ready
+        waiting = EntryState.WAITING
+        candidates = sorted(ready.values(), key=_SELECT_KEY)
         for entry in candidates:
-            if self.selector.available_slots <= 0:
+            if selector.available_slots <= 0:
                 break
-            if entry.state is not EntryState.WAITING or entry.eligible_cycle > now:
+            if entry.state is not waiting or entry.eligible_cycle > now:
                 continue
-            if not self.wakeup.entry_ready(entry):
+            if not entry_ready(entry):
                 # Stale ready-set entry (e.g. un-woken by a replay).
-                self._ready.pop(entry.tag, None)
+                ready.pop(entry.tag, None)
                 entry.in_ready = False
                 continue
             op_class = entry.op.op_class
-            if not self.fu.can_issue(op_class, now):
+            if not fu.can_issue(op_class, now):
                 continue
-            if not self.rf_policy.try_reserve(entry, now):
+            if not rf_policy.try_reserve(entry, now):
                 continue
-            seq_access = self.rf_policy.decide_sequential_access(entry, now)
-            slot = self.selector.take_slot(bubble_next=seq_access)
-            self.fu.issue(op_class, now)
+            seq_access = rf_policy.decide_sequential_access(entry, now)
+            slot = selector.take_slot(bubble_next=seq_access)
+            fu.issue(op_class, now)
             self._issue(entry, seq_access, slot)
 
     def _issue(self, entry: IQEntry, seq_access: bool, slot: int = 0) -> None:
@@ -367,20 +492,22 @@ class Processor:
             record["opcode"] = entry.op.opcode
             record["pc"] = entry.op.pc
 
-        if not self.wakeup.verify_at_issue(entry, self.scoreboard, now):
+        if not self._verify_at_issue(entry, self.scoreboard, now):
             # Tag elimination misschedule: scoreboard flags it after the
             # detection delay; the replay window covers everything issued
             # in the shadow, the mis-issued instruction included.
-            detect = self.config.tag_elim_detect_delay
+            detect = self._tag_elim_detect
             self.stats.tag_elim_misschedules += 1
-            self._kills.setdefault(now + detect, []).append(
-                _Kill(entry, entry.epoch, (now, now + detect - 1), squash_root=True)
+            self._kills.schedule(
+                now,
+                now + detect,
+                _Kill(entry, entry.epoch, (now, now + detect - 1), squash_root=True),
             )
 
         if entry.op.is_load:
             self._issue_load(entry)
             return
-        latency = self.config.lat.for_class(entry.op.op_class)
+        latency = self._lat_for_class(entry.op.op_class)
         if seq_access:
             latency += 1
             self.stats.sequential_rf_accesses += 1
@@ -391,54 +518,49 @@ class Processor:
             if all(operand.woke_now(now) for operand in entry.operands):
                 latency += 1
                 self.stats.double_bypass_delays += 1
-        self._broadcasts.setdefault(now + latency, []).append(
-            (entry, entry.epoch, True)
+        self._broadcasts.schedule(now, now + latency, (entry, entry.epoch, True))
+        self._completions.schedule(
+            now, now + self._exec_offset + latency, (entry, entry.epoch)
         )
-        self._completions.setdefault(
-            now + self.config.exec_offset + latency, []
-        ).append((entry, entry.epoch))
 
     def _issue_load(self, entry: IQEntry) -> None:
         now = self.now
-        config = self.config
-        assumed = config.assumed_load_latency
+        assumed = self._assumed_load_latency
         if entry.mem_fill_cycle is None:
             # First issue: perform the cache access.  The fill stays in
             # flight even if this load is later squashed (MSHR semantics):
             # a replayed issue re-uses the fill time instead of touching
             # the cache again, so replays never act as self-prefetches.
             if entry.forwarded:
-                actual_mem = config.mem.dl1_latency  # store queue data
+                actual_mem = self._dl1_latency  # store queue data
             else:
                 actual_mem = self.memory.load(entry.op.mem_addr).latency
-            entry.mem_fill_cycle = now + config.lat.agen + actual_mem
+            entry.mem_fill_cycle = now + self._agen_lat + actual_mem
         fill = max(entry.mem_fill_cycle, now + assumed)
-        completion = fill + config.exec_offset - config.lat.agen
+        completion = fill + self._exec_offset - self._agen_lat
         if fill <= now + assumed:
             # Data arrives within the assumed-hit schedule.
-            self._broadcasts.setdefault(now + assumed, []).append(
-                (entry, entry.epoch, True)
-            )
-            self._completions.setdefault(completion, []).append((entry, entry.epoch))
+            self._broadcasts.schedule(now, now + assumed, (entry, entry.epoch, True))
+            self._completions.schedule(now, completion, (entry, entry.epoch))
             return
         # Latency misprediction: speculative broadcast at the assumed-hit
         # time, kill after the resolution shadow, real broadcast at fill.
-        self._broadcasts.setdefault(now + assumed, []).append(
-            (entry, entry.epoch, False)
-        )
-        kill_cycle = now + assumed + config.load_spec_window
+        self._broadcasts.schedule(now, now + assumed, (entry, entry.epoch, False))
+        kill_cycle = now + assumed + self._load_spec_window
         window = (now + assumed, kill_cycle - 1)
-        self._kills.setdefault(kill_cycle, []).append(
+        self._kills.schedule(
+            now,
+            kill_cycle,
             _Kill(entry, entry.epoch, window if self._non_selective else None,
-                  squash_root=False)
+                  squash_root=False),
         )
         # A re-issued load's in-flight fill can land inside the kill shadow;
         # the re-broadcast must follow the kill or it would be invalidated.
         rebroadcast = max(fill, kill_cycle + 1)
-        self._broadcasts.setdefault(rebroadcast, []).append((entry, entry.epoch, True))
-        self._completions.setdefault(
-            max(completion, rebroadcast), []
-        ).append((entry, entry.epoch))
+        self._broadcasts.schedule(now, rebroadcast, (entry, entry.epoch, True))
+        self._completions.schedule(
+            now, max(completion, rebroadcast), (entry, entry.epoch)
+        )
 
     def _record_issue_stats(self, entry: IQEntry, seq_access: bool) -> None:
         now = self.now
@@ -473,9 +595,10 @@ class Processor:
             self._squash(kill.root)
         if kill.window is not None:
             start, end = kill.window
+            issued = EntryState.ISSUED
             for entry in self.rob:
                 if (
-                    entry.state is EntryState.ISSUED
+                    entry.state is issued
                     and entry is not kill.root
                     and start <= entry.issue_cycle <= end
                 ):
@@ -522,19 +645,21 @@ class Processor:
     # ==================================================================
     def _dispatch(self) -> None:
         now = self.now
+        frontend = self._frontend
+        if not frontend:
+            return
+        width = self._width
+        rob = self.rob
+        lsq = self.lsq
         dispatched = 0
         # Half-price rename (Section 6 extension): one source-lookup port
         # per dispatch slot; a 2-source instruction consumes two tokens.
-        rename_tokens = self.config.width if self._half_rename else None
-        while (
-            self._frontend
-            and self._frontend[0][0] <= now
-            and dispatched < self.config.width
-        ):
-            arrive, op = self._frontend[0]
-            if self.rob.full:
+        rename_tokens = width if self._half_rename else None
+        while frontend and frontend[0][0] <= now and dispatched < width:
+            arrive, op = frontend[0]
+            if rob.full:
                 break
-            if (op.is_load or op.is_store) and self.lsq.full:
+            if (op.is_load or op.is_store) and lsq.full:
                 break
             if rename_tokens is not None and not op.is_eliminated_nop:
                 needed = max(1, len(op.sched_deps))
@@ -542,7 +667,7 @@ class Processor:
                     self.stats.rename_port_stalls += 1
                     break
                 rename_tokens -= needed
-            self._frontend.popleft()
+            frontend.popleft()
             self._insert(op)
             dispatched += 1
 
@@ -557,10 +682,12 @@ class Processor:
             return
         operands = self._rename_sources(op, tag)
         entry = IQEntry(op, tag, operands, insert_cycle=now)
-        self.scoreboard.allocate(tag, entry)
+        scoreboard = self.scoreboard
+        scoreboard.allocate(tag, entry)
+        add_consumer = scoreboard.add_consumer
         for index, operand in enumerate(operands):
             if operand.tag is not None:
-                self.scoreboard.add_consumer(operand.tag, entry, index)
+                add_consumer(operand.tag, entry, index)
         if op.dest is not None:
             self._rename[op.dest] = tag
         self.wakeup.assign_sides(entry)
@@ -574,26 +701,32 @@ class Processor:
 
     def _rename_sources(self, op: DynOp, consumer_tag: int) -> list[Operand]:
         operands: list[Operand] = []
+        rename_get = self._rename.get
+        scoreboard_get = self.scoreboard.get
+        now = self.now
+        use_matrix = self._use_matrix
+        left = OperandSide.LEFT
+        right = OperandSide.RIGHT
         for position, arch in enumerate(op.sched_deps):
-            side = OperandSide.LEFT if position == 0 else OperandSide.RIGHT
-            producer_tag = self._rename.get(arch)
+            side = left if position == 0 else right
+            producer_tag = rename_get(arch)
             if producer_tag is None:
                 # Architectural value: the producer has committed.
                 operands.append(Operand(None, side))
                 continue
-            record = self.scoreboard.get(producer_tag)
+            record = scoreboard_get(producer_tag)
             if record is None:
                 operands.append(Operand(None, side))
                 continue
             if record.valid and record.broadcast_cycle is not None and (
-                record.broadcast_cycle <= self.now
+                record.broadcast_cycle <= now
             ):
                 # Ready bit set at insert; the producer may still be
                 # squashed later, so the tag reference is kept for the
                 # invalidation cascade.
                 operand = Operand(None, side)
                 operand.tag = producer_tag
-                if self._use_matrix:
+                if use_matrix:
                     operand.matrix = record.matrix_payload
             else:
                 operand = Operand(producer_tag, side)
@@ -615,7 +748,7 @@ class Processor:
             entry.state is EntryState.WAITING
             and not entry.in_ready
             and entry.mem_dep_ready
-            and self.wakeup.entry_ready(entry)
+            and self._entry_ready(entry)
         ):
             entry.in_ready = True
             self._ready[entry.tag] = entry
@@ -631,24 +764,40 @@ class Processor:
             or now < self._fetch_stalled_until
         ):
             return
+        memory = self.memory
+        line_address = memory.il1.line_address
+        pc_address = self._pc_address
+        frontend_append = self._frontend.append
+        stats = self.stats
+        arrive = now + self._front_depth
+        feed_iter = self._feed_iter
         fetched = 0
-        while fetched < self.config.width:
-            op = self._peek_feed()
+        width = self._width
+        op = self._next_op
+        while fetched < width:
             if op is None:
-                return
-            line = self.memory.il1.line_address(self._pc_address(op.pc))
+                try:
+                    op = next(feed_iter)
+                except StopIteration:
+                    self._feed_done = True
+                    self._next_op = None
+                    return
+                self._next_op = op
+            address = pc_address(op.pc)
+            line = line_address(address)
             if line != self._last_fetch_line:
-                result = self.memory.fetch(self._pc_address(op.pc))
+                result = memory.fetch(address)
                 self._last_fetch_line = line
                 if result.is_miss:
                     self._fetch_stalled_until = now + result.latency
                     return
-            self._consume_feed()
-            self.stats.fetched += 1
+            self._next_op = None
+            stats.fetched += 1
             fetched += 1
-            self._frontend.append((now + self.config.front_depth, op))
+            frontend_append((arrive, op))
             if op.is_control and self._fetch_control(op):
                 return
+            op = None
 
     def _fetch_control(self, op: DynOp) -> bool:
         """Predict a control instruction; return True if fetch must stop."""
@@ -693,32 +842,43 @@ class Processor:
     # Phase 5: commit.
     # ==================================================================
     def _commit(self) -> None:
+        rob = self.rob
+        if not rob.committable():
+            return
+        now = self.now
+        width = self._width
+        stats = self.stats
+        rename = self._rename
+        lsq = self.lsq
+        scoreboard_free = self.scoreboard.free
+        trace = self.trace
         committed = 0
-        while committed < self.config.width and self.rob.committable():
-            entry = self.rob.commit_head()
+        while committed < width and rob.committable():
+            entry = rob.commit_head()
             op = entry.op
             if op.is_store:
                 self.memory.store(op.mem_addr)
-                self.lsq.remove(entry)
+                lsq.remove(entry)
             elif op.is_load:
-                self.lsq.remove(entry)
-            if op.dest is not None and self._rename.get(op.dest) == entry.tag:
-                self._rename[op.dest] = None
-            self.scoreboard.free(entry.tag)
+                lsq.remove(entry)
+            dest = op.dest
+            if dest is not None and rename.get(dest) == entry.tag:
+                rename[dest] = None
+            scoreboard_free(entry.tag)
             if entry.rf_category is not None:
-                self.stats.record_rf_category(entry.rf_category)
-            if self.trace is not None:
-                record = self.trace.setdefault(entry.tag, {"issues": []})
+                stats.record_rf_category(entry.rf_category)
+            if trace is not None:
+                record = trace.setdefault(entry.tag, {"issues": []})
                 record["insert"] = entry.insert_cycle
                 record["complete"] = entry.complete_cycle
-                record["commit"] = self.now
+                record["commit"] = now
                 record["replays"] = entry.replays
                 record["rf_category"] = entry.rf_category
                 record["opcode"] = entry.op.opcode
                 record["pc"] = entry.op.pc
-            self.stats.committed += 1
+            stats.committed += 1
             self._total_committed += 1
-            self._last_commit_cycle = self.now
+            self._last_commit_cycle = now
             committed += 1
 
 

@@ -23,6 +23,8 @@ from repro.pipeline.config import MachineConfig, RegFileModel, SchedulerModel
 class RegisterFilePolicy:
     """Issue-time read-port accounting for one machine configuration."""
 
+    __slots__ = ("model", "width", "fast_side_now_only", "_ports_used")
+
     def __init__(self, config: MachineConfig):
         self.model = config.regfile
         self.width = config.width

@@ -13,7 +13,11 @@ from repro.core.iq import EntryState, IQEntry
 
 
 class ReorderBuffer:
-    """Fixed-capacity FIFO of in-flight instructions."""
+    """Fixed-capacity FIFO of in-flight instructions.
+
+    No ``__slots__`` here on purpose: tests monkeypatch instance methods
+    (e.g. ``committable``) to simulate pathological machines.
+    """
 
     def __init__(self, capacity: int):
         self.capacity = capacity

@@ -53,6 +53,11 @@ class DynOp:
         "static_target",
         "is_two_source_format",
         "is_eliminated_nop",
+        "is_load",
+        "is_store",
+        "is_branch",
+        "is_control",
+        "is_two_source",
     )
 
     def __init__(
@@ -86,31 +91,17 @@ class DynOp:
         self.static_target = static_target
         self.is_two_source_format = is_two_source_format
         self.is_eliminated_nop = is_eliminated_nop
-
-    # ------------------------------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        return self.op_class is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op_class is OpClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op_class is OpClass.BRANCH
-
-    @property
-    def is_control(self) -> bool:
-        return self.op_class.is_control
-
-    @property
-    def is_two_source(self) -> bool:
-        """The paper's 2-source classification (see Instruction)."""
-        return (
-            not self.is_store
-            and not self.is_eliminated_nop
-            and len(self.sched_deps) == 2
+        # Classification flags the scheduler reads on nearly every cycle an
+        # instruction is in flight; precomputed here so the hot loop does
+        # plain slot reads instead of property descriptors + enum compares.
+        is_store = op_class is OpClass.STORE
+        self.is_load = op_class is OpClass.LOAD
+        self.is_store = is_store
+        self.is_branch = op_class is OpClass.BRANCH
+        self.is_control = op_class is OpClass.BRANCH or op_class is OpClass.JUMP
+        #: the paper's 2-source classification (see Instruction)
+        self.is_two_source = (
+            not is_store and not is_eliminated_nop and len(sched_deps) == 2
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
