@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate the committed CI regression-gate baseline.
+#
+# Run this after an INTENTIONAL timing-model change, eyeball the diff of
+# results/ci_baseline/, and commit it together with the model change.  The
+# arguments must stay in sync with GATE_BENCHMARKS / GATE_ARGS in
+# .github/workflows/ci.yml — the gate job replays exactly this command and
+# scorecards the result against the committed tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rm -rf results/ci_baseline
+PYTHONPATH=src python -m repro export-stats gzip gcc \
+  --insts 2000 --warmup 1000 --seed 7 --no-cache --jobs 1 \
+  --out results/ci_baseline
+
+echo "Baseline regenerated:"
+ls -l results/ci_baseline

@@ -42,10 +42,12 @@ from pathlib import Path
 from repro.core.last_arrival import DesignComparisonBank, ShadowPredictorBank
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import TIMING_MODEL_VERSION, SimulationResult
-from repro.pipeline.stats import SimStats, WakeupOrderStats
+from repro.pipeline.stats import STAT_COUNTER_FIELDS, SimStats, WakeupOrderStats
 
 #: Bump when the *record format* (not the timing model) changes shape.
-CACHE_FORMAT_VERSION = 1
+#: v2: records are self-validating (payload checksum), so a partially
+#: written or bit-rotted file is a miss, never a wrong hit.
+CACHE_FORMAT_VERSION = 2
 
 
 def _json_default(value):
@@ -81,31 +83,9 @@ def fingerprint(
 # SimulationResult <-> JSON record
 # ----------------------------------------------------------------------
 
-#: SimStats plain-integer counters, serialized verbatim.
-_STAT_COUNTERS = (
-    "cycles",
-    "committed",
-    "fetched",
-    "dispatched",
-    "issued",
-    "replayed",
-    "load_miss_replays",
-    "tag_elim_misschedules",
-    "branch_mispredicts",
-    "branches",
-    "two_source_dispatched",
-    "two_pending_observed",
-    "rf_back_to_back",
-    "rf_two_ready",
-    "rf_non_back_to_back",
-    "seq_wakeup_slow_initiations",
-    "simultaneous_wakeups",
-    "last_arrival_mispredictions",
-    "last_arrival_predictions",
-    "sequential_rf_accesses",
-    "rename_port_stalls",
-    "double_bypass_delays",
-)
+#: SimStats plain-integer counters, serialized verbatim (canonical list
+#: lives next to the dataclass so new counters propagate everywhere).
+_STAT_COUNTERS = STAT_COUNTER_FIELDS
 
 _ORDER_COUNTERS = ("same_order", "diff_order", "last_left", "last_right", "simultaneous")
 
@@ -185,6 +165,19 @@ def deserialize_result(record: dict) -> SimulationResult:
     )
 
 
+def record_checksum(record: dict) -> str:
+    """Self-validation digest over a record's canonical JSON payload.
+
+    Computed over every field except ``checksum`` itself.  A record whose
+    stored digest does not match — truncated write, manual edit, bit rot,
+    or a partially materialized record directory — is treated as a cache
+    miss instead of being served as a (wrong) hit.
+    """
+    payload = {key: value for key, value in record.items() if key != "checksum"}
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 # ----------------------------------------------------------------------
 # Disk store
 # ----------------------------------------------------------------------
@@ -254,8 +247,21 @@ class ResultCache:
         if record.get("fingerprint") != digest:  # pragma: no cover - paranoia
             self.misses += 1
             return None
+        stored_checksum = record.get("checksum")
+        if stored_checksum is None or stored_checksum != record_checksum(record):
+            # Corrupt or pre-v2 record: refuse to serve it.
+            self.misses += 1
+            return None
+        try:
+            result = deserialize_result(record)
+        except (KeyError, TypeError, ValueError):
+            # Structurally damaged despite a matching checksum is
+            # impossible in practice, but never let a cache file crash a
+            # run — recompute instead.
+            self.misses += 1
+            return None
         self.hits += 1
-        return deserialize_result(record)
+        return result
 
     def store(
         self,
@@ -276,6 +282,7 @@ class ResultCache:
         record["insts"] = insts
         record["warmup"] = warmup
         record["model_version"] = TIMING_MODEL_VERSION
+        record["checksum"] = record_checksum(record)
         path = self._path(benchmark, config.name, seed, digest)
         self.directory.mkdir(parents=True, exist_ok=True)
         fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")

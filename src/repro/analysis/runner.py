@@ -25,9 +25,11 @@ and replay interleavings), which seed averaging suppresses.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.parallel import Job, env_int, run_jobs
+from repro.obs.registry import MetricsRegistry
 from repro.pipeline.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
 from repro.pipeline.processor import Processor, SimulationResult
 from repro.workloads.profiles import SPEC_BENCHMARKS, get_profile
@@ -78,6 +80,10 @@ class ExperimentRunner:
             self.cache = cache
         self._workloads: dict[tuple[str, int], SyntheticWorkload] = {}
         self._results: dict[tuple, SimulationResult] = {}
+        #: harness-level observability: where results came from, what was
+        #: exported.  Published on every serve (cheap — per result, not
+        #: per cycle); read via ``runner.metrics.as_dict()``.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     def workload(self, benchmark: str, seed: int | None = None) -> SyntheticWorkload:
@@ -105,6 +111,7 @@ class ExperimentRunner:
         key = self._key(benchmark, config, seed, shadow)
         found = self._results.get(key)
         if found is not None:
+            self.metrics.counter("runner.memo_hits").inc()
             return found
         shadow_sizes = self._shadow_sizes(shadow)
         if self.cache is not None:
@@ -112,12 +119,14 @@ class ExperimentRunner:
                 benchmark, seed, self.insts, self.warmup, config, shadow_sizes
             )
             if found is not None:
+                self.metrics.counter("runner.disk_hits").inc()
                 self._results[key] = found
                 return found
         processor = Processor(
             self.workload(benchmark, seed), config, shadow_sizes=shadow_sizes
         )
         found = processor.run(max_insts=self.insts, warmup=self.warmup)
+        self.metrics.counter("runner.simulated").inc()
         self._results[key] = found
         if self.cache is not None:
             self.cache.store(
@@ -163,6 +172,7 @@ class ExperimentRunner:
             return 0
         workers = workers if workers is not None else self.jobs
         results = run_jobs([job for _, job in pending], workers=workers)
+        self.metrics.counter("runner.simulated").inc(len(pending))
         for (key, job), result in zip(pending, results):
             self._results[key] = result
             if self.cache is not None:
@@ -187,6 +197,67 @@ class ExperimentRunner:
             # Figure 7 / Table 3 read the shadow bank of the first seed.
             requests.append((benchmark, FOUR_WIDE, self.seed, True))
         return self.prefetch(requests, workers=workers)
+
+    # ------------------------------------------------------------------
+    def export_run(
+        self,
+        benchmark: str,
+        config: MachineConfig,
+        directory: Path | str,
+        seed: int | None = None,
+        shadow: bool = False,
+    ) -> Path:
+        """Write the versioned stats export of one run (cache-riding).
+
+        The result is served through the usual memo → disk-cache → compute
+        chain, so exporting a run that is already cached never simulates.
+        """
+        # Deferred: repro.obs.export reaches back into the analysis layer
+        # for the shared fingerprint (see repro/obs/__init__.py).
+        from repro.obs.export import build_stats_export, write_stats_json
+
+        seed = seed if seed is not None else self.seed
+        result = self.result(benchmark, config, shadow=shadow, seed=seed)
+        document = build_stats_export(
+            result,
+            config,
+            benchmark=benchmark,
+            seed=seed,
+            insts=self.insts,
+            warmup=self.warmup,
+            shadow_sizes=self._shadow_sizes(shadow),
+        )
+        path = write_stats_json(document, directory)
+        self.metrics.counter("runner.exports_written").inc()
+        return path
+
+    def export_stats(
+        self,
+        directory: Path | str,
+        configs: tuple[MachineConfig, ...] | list[MachineConfig] | None = None,
+        seeds: tuple[int, ...] | None = None,
+        workers: int | None = None,
+    ) -> list[Path]:
+        """Export every (benchmark, config, seed) combination's manifest.
+
+        Missing results are bulk-resolved through :meth:`prefetch` first,
+        so independent simulations fan out over the parallel engine; the
+        export files themselves are deterministic regardless of worker
+        count (pinned by the CI determinism job).
+        """
+        configs = tuple(configs) if configs else (FOUR_WIDE,)
+        seeds = tuple(seeds) if seeds else (self.seed,)
+        requests = [
+            (benchmark, config, seed, False)
+            for benchmark in self.benchmarks
+            for config in configs
+            for seed in seeds
+        ]
+        self.prefetch(requests, workers=workers)
+        return [
+            self.export_run(benchmark, config, directory, seed=seed)
+            for benchmark, config, seed, _ in requests
+        ]
 
     # ------------------------------------------------------------------
     def base(self, benchmark: str, width: int = 4, shadow: bool = False) -> SimulationResult:

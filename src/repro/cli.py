@@ -6,10 +6,14 @@ Commands:
 * ``run`` — simulate a synthetic benchmark on a configured machine;
 * ``kernel`` — run an assembly kernel (optionally with a pipeline trace);
 * ``experiment`` — regenerate one or more of the paper's tables/figures;
-* ``prefetch`` — warm the on-disk result cache with the base-machine runs.
+* ``prefetch`` — warm the on-disk result cache with the base-machine runs;
+* ``export-stats`` — write schema-versioned stats JSON, one per run;
+* ``trace`` — render a pipeline trace (ASCII or Chrome/Perfetto JSON);
+* ``report`` — regression scorecard: diff a stats tree against a baseline.
 
-``experiment`` and ``prefetch`` accept ``--jobs N`` to fan independent
-simulations over N worker processes (see docs/PERFORMANCE.md).
+``experiment``, ``prefetch`` and ``export-stats`` accept ``--jobs N`` to
+fan independent simulations over N worker processes (docs/PERFORMANCE.md);
+the observability pipeline is described in docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -20,6 +24,12 @@ import sys
 from repro.analysis import experiments as experiment_defs
 from repro.analysis.report import render
 from repro.analysis.runner import ExperimentRunner
+from repro.obs.chrometrace import write_chrome_trace
+from repro.obs.scorecard import (
+    DEFAULT_TOLERANCES,
+    compare_trees,
+    render_scorecard,
+)
 from repro.pipeline.config import (
     EIGHT_WIDE,
     FOUR_WIDE,
@@ -98,9 +108,17 @@ def _cmd_list(args) -> int:
 def _cmd_run(args) -> int:
     config = _machine(args)
     workload = SyntheticWorkload(get_profile(args.benchmark), seed=args.seed)
-    processor = Processor(workload, config)
+    processor = Processor(workload, config, profile=args.profile)
     result = processor.run(max_insts=args.insts, warmup=args.warmup)
     _print_summary(result, processor)
+    if processor.profiler is not None:
+        print()
+        print("stage wall time (profiled):")
+        total = sum(processor.profiler.seconds.values()) or 1.0
+        for name, seconds in sorted(
+            processor.profiler.seconds.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"  {name:<18} {seconds * 1e3:8.2f} ms  {seconds / total:6.1%}")
     return 0
 
 
@@ -151,6 +169,63 @@ def _cmd_prefetch(args) -> int:
     return 0
 
 
+def _cmd_export_stats(args) -> int:
+    config = _machine(args)
+    benchmarks = (
+        SPEC_BENCHMARKS if args.benchmarks == ["all"] else tuple(args.benchmarks)
+    )
+    unknown = [name for name in benchmarks if name not in SPEC_BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runner = ExperimentRunner(
+        insts=args.insts,
+        warmup=args.warmup,
+        seed=args.seed,
+        benchmarks=tuple(benchmarks),
+        jobs=args.jobs,
+        cache=not args.no_cache,
+    )
+    paths = runner.export_stats(args.out, configs=(config,), workers=args.jobs)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    config = _machine(args)
+    if args.name in KERNELS:
+        feed = EmulatorFeed(kernel_program(args.name), name=args.name)
+    elif args.name in SPEC_BENCHMARKS:
+        feed = SyntheticWorkload(get_profile(args.name), seed=args.seed)
+    else:
+        print(f"unknown kernel/benchmark {args.name!r}", file=sys.stderr)
+        return 2
+    processor = Processor(feed, config, record_schedule=True)
+    processor.run(max_insts=args.insts, warmup=0)
+    if args.format == "chrome":
+        out = args.out or f"{args.name}.trace.json"
+        path = write_chrome_trace(
+            processor, out, first_seq=args.first, count=args.count
+        )
+        print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)")
+    else:
+        print(render_pipetrace(processor, first_seq=args.first, count=args.count or 16))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    tolerances = dict(DEFAULT_TOLERANCES)
+    if args.tolerance is not None:
+        tolerances[""] = args.tolerance
+        tolerances["metrics"] = args.tolerance
+    if args.ipc_tolerance is not None:
+        tolerances["derived.ipc"] = args.ipc_tolerance
+    card = compare_trees(args.baseline, args.current, tolerances)
+    print(render_scorecard(card))
+    return card.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Half-Price Architecture reproduction CLI"
@@ -164,6 +239,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--insts", type=int, default=15_000)
     run_parser.add_argument("--warmup", type=int, default=20_000)
     run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="wall-time the pipeline stages and print the breakdown",
+    )
     _add_machine_arguments(run_parser)
 
     kernel_parser = subparsers.add_parser("kernel", help="run an assembly kernel")
@@ -200,6 +279,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for independent runs (default: REPRO_JOBS/CPUs)",
     )
 
+    export_parser = subparsers.add_parser(
+        "export-stats",
+        help="write schema-versioned stats JSON, one file per simulation",
+    )
+    export_parser.add_argument(
+        "benchmarks", nargs="+",
+        help="benchmark names (see 'repro list'), or 'all'",
+    )
+    export_parser.add_argument("--insts", type=int, default=None)
+    export_parser.add_argument("--warmup", type=int, default=None)
+    export_parser.add_argument("--seed", type=int, default=None)
+    export_parser.add_argument(
+        "--out", default="results/stats", metavar="DIR",
+        help="output directory for *.stats.json (default: results/stats)",
+    )
+    export_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs (default: REPRO_JOBS/CPUs)",
+    )
+    export_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (always simulate)",
+    )
+    _add_machine_arguments(export_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="render a pipeline trace (ASCII or Chrome trace JSON)"
+    )
+    trace_parser.add_argument("name", help="kernel or benchmark name")
+    trace_parser.add_argument(
+        "--format", choices=("ascii", "chrome"), default="ascii"
+    )
+    trace_parser.add_argument("--insts", type=int, default=500)
+    trace_parser.add_argument("--seed", type=int, default=42)
+    trace_parser.add_argument(
+        "--first", type=int, default=0, metavar="SEQ",
+        help="first dynamic instruction to render",
+    )
+    trace_parser.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="instructions to render (ascii default 16, chrome default all)",
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="chrome format: output path (default <name>.trace.json)",
+    )
+    _add_machine_arguments(trace_parser)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="regression scorecard: diff two stats-JSON trees, exit 1 on drift",
+    )
+    report_parser.add_argument(
+        "--baseline", required=True, metavar="DIR",
+        help="committed baseline tree (e.g. results/ci_baseline)",
+    )
+    report_parser.add_argument(
+        "--current", default="results/stats", metavar="DIR",
+        help="freshly exported tree to judge (default: results/stats)",
+    )
+    report_parser.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="default relative drift tolerance (default 0.01)",
+    )
+    report_parser.add_argument(
+        "--ipc-tolerance", type=float, default=None, metavar="FRAC",
+        help="tolerance for derived.ipc (default 0.005)",
+    )
+
     return parser
 
 
@@ -211,6 +359,9 @@ def main(argv: list[str] | None = None) -> int:
         "kernel": _cmd_kernel,
         "experiment": _cmd_experiment,
         "prefetch": _cmd_prefetch,
+        "export-stats": _cmd_export_stats,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -34,12 +34,16 @@ class Selector:
     in order.
     """
 
-    __slots__ = ("width", "_disabled_now", "_disable_next")
+    __slots__ = ("width", "_disabled_now", "_disable_next",
+                 "slots_taken", "bubbles_scheduled")
 
     def __init__(self, width: int):
         self.width = width
         self._disabled_now = 0
         self._disable_next = 0
+        #: lifetime tallies (published post-run, see ``publish_metrics``)
+        self.slots_taken = 0
+        self.bubbles_scheduled = 0
 
     # ------------------------------------------------------------------
     def begin_cycle(self) -> None:
@@ -61,10 +65,17 @@ class Selector:
             return -1
         slot = self._disabled_now
         self._disabled_now += 1
+        self.slots_taken += 1
         if bubble_next:
             self._disable_next += 1
+            self.bubbles_scheduled += 1
         return slot
 
     def order(self, ready_entries: list[IQEntry]) -> list[IQEntry]:
         """Return candidates in selection order."""
         return sorted(ready_entries, key=select_priority)
+
+    def publish_metrics(self, registry, prefix: str = "select") -> None:
+        """Copy the select-logic tallies into a MetricsRegistry (post-run)."""
+        registry.counter(f"{prefix}.slots_taken").set(self.slots_taken)
+        registry.counter(f"{prefix}.bubbles_scheduled").set(self.bubbles_scheduled)

@@ -1,0 +1,135 @@
+"""Chrome trace-event export of a recorded pipeline schedule.
+
+Converts the per-instruction timing records a
+``Processor(record_schedule=True)`` run collects into the Chrome
+trace-event JSON format, viewable in ``chrome://tracing`` or
+https://ui.perfetto.dev — a zoomable alternative to the ASCII
+:func:`~repro.pipeline.pipetrace.render_pipetrace`.
+
+Mapping (1 simulated cycle = 1 microsecond of trace time):
+
+* each dynamic instruction is laid out on a **lane** (trace thread);
+  lanes are assigned greedily so overlapping instructions never share
+  one — the result reads like a waterfall;
+* per instruction, three complete ("X") events: ``sched`` (scheduler
+  insert to final issue), ``exec`` (issue to completion) and ``retire``
+  (completion to commit), with the opcode/pc/replay details in ``args``;
+* each squashed (replayed) issue is an instant ("i") event on the same
+  lane, so replay storms are visible at a glance.
+
+Only committed instructions carry full timing (the processor finalizes
+trace records at commit); in-flight leftovers are skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SimulationError
+
+
+def _committed_records(trace: dict, first_seq: int, count: int | None) -> list:
+    seqs = sorted(
+        seq for seq, record in trace.items()
+        if seq >= first_seq and "insert" in record
+    )
+    if count is not None:
+        seqs = seqs[:count]
+    return [(seq, trace[seq]) for seq in seqs]
+
+
+def _assign_lanes(records: list) -> dict[int, int]:
+    """Greedy interval packing: earliest-free lane per instruction."""
+    lanes: dict[int, int] = {}
+    free_at: list[int] = []  # lane index -> first free cycle
+    for seq, record in records:
+        start, end = record["insert"], record["commit"]
+        for lane, free in enumerate(free_at):
+            if free <= start:
+                lanes[seq] = lane
+                free_at[lane] = end + 1
+                break
+        else:
+            lanes[seq] = len(free_at)
+            free_at.append(end + 1)
+    return lanes
+
+
+def export_chrome_trace(
+    processor,
+    first_seq: int = 0,
+    count: int | None = None,
+) -> dict:
+    """Build the trace-event document for instructions [first_seq, +count)."""
+    if processor.trace is None:
+        raise SimulationError(
+            "chrome trace needs a Processor(record_schedule=True) run"
+        )
+    records = _committed_records(processor.trace, first_seq, count)
+    lanes = _assign_lanes(records)
+    events: list[dict] = []
+    for lane in sorted(set(lanes.values())):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": lane,
+            "args": {"name": f"lane {lane}"},
+        })
+    for seq, record in records:
+        lane = lanes[seq]
+        insert = record["insert"]
+        commit = record["commit"]
+        complete = record.get("complete")
+        if complete is None:
+            complete = commit  # eliminated NOPs never execute
+        issues = record.get("issues", [])
+        final_issue = issues[-1] if issues else complete
+        label = f"{seq} {record.get('opcode', '?')}"
+        args = {
+            "seq": seq,
+            "pc": record.get("pc"),
+            "opcode": record.get("opcode"),
+            "replays": record.get("replays", 0),
+            "rf_category": record.get("rf_category"),
+        }
+        phases = (
+            ("sched", insert, final_issue, "good"),
+            ("exec", final_issue, complete, "bad"),
+            ("retire", complete, commit, "terrible"),
+        )
+        for name, start, end, color in phases:
+            if end <= start:
+                continue
+            events.append({
+                "ph": "X", "name": f"{label}:{name}", "cat": name,
+                "pid": 0, "tid": lane, "ts": start, "dur": end - start,
+                "cname": color, "args": args,
+            })
+        for squashed in issues[:-1]:
+            events.append({
+                "ph": "i", "name": f"{label}:squashed-issue", "cat": "replay",
+                "pid": 0, "tid": lane, "ts": squashed, "s": "t",
+                "args": args,
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "cycle_unit": "1 cycle = 1 us of trace time",
+            "instructions": len(records),
+        },
+    }
+
+
+def write_chrome_trace(
+    processor,
+    path: Path | str,
+    first_seq: int = 0,
+    count: int | None = None,
+) -> Path:
+    """Export and write the trace JSON; returns the file path."""
+    document = export_chrome_trace(processor, first_seq=first_seq, count=count)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, sort_keys=True) + "\n", encoding="utf-8")
+    return path

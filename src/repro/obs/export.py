@@ -1,0 +1,136 @@
+"""Versioned per-run stats export (the run manifest).
+
+One JSON document per simulation, carrying everything a later consumer —
+the CI regression scorecard, a plotting notebook, a results archive —
+needs to interpret the run without the code that produced it:
+
+* ``schema_version`` (:data:`STATS_SCHEMA_VERSION`) and the timing-model
+  version stamp;
+* the run identity: benchmark, seed, run lengths, shadow sizes, the full
+  machine config and its SHA-256 **fingerprint** (the same digest the
+  result cache keys on, so a manifest can be matched to a cache record);
+* every paper-figure counter (Tables 2/3, Figures 4/6/7/10) plus the
+  derived ratios the figures plot;
+* optionally: component metrics published into a
+  :class:`~repro.obs.registry.MetricsRegistry`, and per-stage wall times
+  from a :class:`~repro.obs.registry.StageProfiler` (under ``profile`` —
+  excluded from scorecard comparison, wall time is machine noise).
+
+Exports are written with sorted keys and a trailing newline so identical
+runs produce **byte-identical** files — the CI determinism job diffs the
+serial and parallel exports directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+
+from repro.analysis.cache import fingerprint, serialize_result
+from repro.errors import SimulationError
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import TIMING_MODEL_VERSION, SimulationResult
+
+#: Bump whenever the export document gains/loses/renames fields.
+STATS_SCHEMA_VERSION = 1
+
+#: Derived ratios re-computed at export time (the figures' y-axes).
+_DERIVED_PROPERTIES = (
+    "ipc",
+    "frac_two_pending",
+    "frac_simultaneous",
+    "frac_two_rf_reads",
+    "predictor_accuracy",
+    "branch_mispredict_rate",
+)
+
+
+def build_stats_export(
+    result: SimulationResult,
+    config: MachineConfig,
+    *,
+    benchmark: str,
+    seed: int,
+    insts: int,
+    warmup: int,
+    shadow_sizes: tuple[int, ...] | None = None,
+    registry=None,
+    profile=None,
+) -> dict:
+    """Flatten one run to the schema-versioned export document."""
+
+    def plain(value):
+        if isinstance(value, enum.Enum):
+            return value.value
+        if isinstance(value, dict):
+            return {key: plain(inner) for key, inner in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [plain(inner) for inner in value]
+        return value
+
+    stats = result.stats
+    document = {
+        "schema_version": STATS_SCHEMA_VERSION,
+        "timing_model_version": TIMING_MODEL_VERSION,
+        "fingerprint": fingerprint(benchmark, seed, insts, warmup, config, shadow_sizes),
+        "run": {
+            "benchmark": benchmark,
+            "seed": seed,
+            "insts": insts,
+            "warmup": warmup,
+            "shadow_sizes": list(shadow_sizes) if shadow_sizes else None,
+            "workload": result.workload_name,
+            "config_name": result.config_name,
+        },
+        "config": plain(dataclasses.asdict(config)),
+        "result": serialize_result(result),
+        "derived": {
+            name: getattr(stats, name) for name in _DERIVED_PROPERTIES
+        },
+        "order_derived": {
+            "frac_same": stats.order.frac_same,
+            "frac_last_left": stats.order.frac_last_left,
+        },
+    }
+    if registry is not None and len(registry):
+        document["metrics"] = registry.as_dict()
+    if profile is not None:
+        document["profile"] = profile.as_dict()
+    return document
+
+
+def stats_filename(benchmark: str, config_name: str, seed: int) -> str:
+    """Deterministic export filename for one run."""
+    safe_config = config_name.replace("/", "_").replace(" ", "_")
+    return f"{benchmark}__{safe_config}__s{seed}.stats.json"
+
+
+def write_stats_json(document: dict, directory: Path | str) -> Path:
+    """Write one export under *directory*; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    run = document["run"]
+    path = directory / stats_filename(
+        run["benchmark"], run["config_name"], run["seed"]
+    )
+    payload = json.dumps(document, sort_keys=True, indent=1) + "\n"
+    path.write_text(payload, encoding="utf-8")
+    return path
+
+
+def load_stats_json(path: Path | str) -> dict:
+    """Load and version-check one export document."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise SimulationError(f"unreadable stats export {path}: {error}") from error
+    version = document.get("schema_version")
+    if version != STATS_SCHEMA_VERSION:
+        raise SimulationError(
+            f"{path}: stats schema version {version!r} "
+            f"(this code reads {STATS_SCHEMA_VERSION})"
+        )
+    return document

@@ -1,0 +1,213 @@
+"""Regression scorecard: diff two stats-export trees against tolerances.
+
+This is the consumer side of :mod:`repro.obs.export` and the engine
+behind ``repro report --baseline`` — the CI regression gate.  Given a
+baseline directory of ``*.stats.json`` files (committed under
+``results/ci_baseline/``) and a freshly exported tree, it:
+
+* pairs files by run identity (same export filename — benchmark, config
+  name, seed);
+* flattens every numeric leaf of both documents to a dotted path
+  (``derived.ipc``, ``result.counters.replayed``, ...) and compares each
+  against a per-path tolerance (longest-prefix match, relative drift
+  with an absolute floor for near-zero values);
+* reports missing/extra runs and fingerprint mismatches (a config or
+  timing-model change makes the baseline incomparable — regenerate it)
+  as failures.
+
+Wall-clock sections (``profile.*``, ``metrics.*.seconds``) are skipped:
+machine noise, not regressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.export import load_stats_json
+
+#: path prefix -> relative tolerance.  Longest matching prefix wins; the
+#: "" entry is the default.  ``None`` skips the subtree entirely.
+DEFAULT_TOLERANCES: dict[str, float | None] = {
+    "": 0.01,                    # 1% relative drift on any counter
+    "derived.ipc": 0.005,        # the headline number is held tighter
+    "profile": None,             # wall time: machine noise
+    "metrics": 0.01,
+    "run": 0.0,                  # identity must match exactly
+    "config": 0.0,
+    "schema_version": 0.0,
+    "timing_model_version": 0.0,
+}
+
+#: Values this close to zero are compared absolutely instead.
+_ABS_FLOOR = 1e-9
+
+
+@dataclass
+class MetricDrift:
+    """One compared leaf: baseline vs current and the verdict."""
+
+    run: str
+    path: str
+    baseline: float
+    current: float
+    tolerance: float
+    ok: bool
+
+    @property
+    def rel_drift(self) -> float:
+        scale = max(abs(self.baseline), abs(self.current), _ABS_FLOOR)
+        return abs(self.current - self.baseline) / scale
+
+
+@dataclass
+class Scorecard:
+    """Aggregate comparison of two stats-export trees."""
+
+    drifts: list[MetricDrift] = field(default_factory=list)
+    #: structural problems: missing runs, unreadable files, fingerprint
+    #: mismatches — always failures.
+    problems: list[str] = field(default_factory=list)
+    compared_runs: int = 0
+    compared_leaves: int = 0
+
+    @property
+    def failures(self) -> list[MetricDrift]:
+        return [drift for drift in self.drifts if not drift.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+# ----------------------------------------------------------------------
+def _flatten(value, prefix: str, leaves: dict[str, float]) -> None:
+    if isinstance(value, bool):
+        leaves[prefix] = float(value)
+    elif isinstance(value, (int, float)):
+        leaves[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key in value:
+            _flatten(value[key], f"{prefix}.{key}" if prefix else str(key), leaves)
+    elif isinstance(value, (list, tuple)):
+        for index, inner in enumerate(value):
+            _flatten(inner, f"{prefix}.{index}", leaves)
+    elif isinstance(value, str):
+        # Strings become presence-keys: a changed config name / workload
+        # makes the old key vanish and a new one appear, which the
+        # comparison reports as a structural problem.
+        leaves[f"{prefix}#str:{value}"] = 0.0
+
+
+def _tolerance_for(path: str, tolerances: dict[str, float | None]) -> float | None:
+    best_key = ""
+    best_len = -1
+    for key in tolerances:
+        if key and not (path == key or path.startswith(key + ".")):
+            continue
+        if len(key) > best_len:
+            best_key, best_len = key, len(key)
+    return tolerances[best_key]
+
+
+def compare_exports(
+    baseline: dict,
+    current: dict,
+    tolerances: dict[str, float | None] | None = None,
+    run: str = "",
+) -> Scorecard:
+    """Compare two loaded export documents leaf by leaf."""
+    tolerances = dict(DEFAULT_TOLERANCES if tolerances is None else tolerances)
+    card = Scorecard(compared_runs=1)
+    if baseline.get("fingerprint") != current.get("fingerprint"):
+        card.problems.append(
+            f"{run or 'run'}: fingerprint mismatch — config or timing-model "
+            "changed; regenerate the baseline"
+        )
+    base_leaves: dict[str, float] = {}
+    cur_leaves: dict[str, float] = {}
+    _flatten(baseline, "", base_leaves)
+    _flatten(current, "", cur_leaves)
+    for path in sorted(base_leaves.keys() | cur_leaves.keys()):
+        tolerance = _tolerance_for(path.split("#", 1)[0], tolerances)
+        if tolerance is None:
+            continue
+        if path not in base_leaves or path not in cur_leaves:
+            card.problems.append(
+                f"{run or 'run'}: {path} present in only one export"
+            )
+            continue
+        base_value = base_leaves[path]
+        cur_value = cur_leaves[path]
+        card.compared_leaves += 1
+        scale = max(abs(base_value), abs(cur_value))
+        if scale <= _ABS_FLOOR:
+            ok = True
+        else:
+            ok = abs(cur_value - base_value) / scale <= tolerance
+        if not ok or base_value != cur_value:
+            card.drifts.append(MetricDrift(
+                run=run, path=path, baseline=base_value,
+                current=cur_value, tolerance=tolerance, ok=ok,
+            ))
+    return card
+
+
+def compare_trees(
+    baseline_dir: Path | str,
+    current_dir: Path | str,
+    tolerances: dict[str, float | None] | None = None,
+) -> Scorecard:
+    """Compare every ``*.stats.json`` run in two directories."""
+    baseline_dir = Path(baseline_dir)
+    current_dir = Path(current_dir)
+    card = Scorecard()
+    base_files = {path.name: path for path in sorted(baseline_dir.glob("*.stats.json"))}
+    cur_files = {path.name: path for path in sorted(current_dir.glob("*.stats.json"))}
+    if not base_files:
+        card.problems.append(f"no *.stats.json baselines under {baseline_dir}")
+    for name in sorted(base_files.keys() | cur_files.keys()):
+        if name not in cur_files:
+            card.problems.append(f"{name}: baseline run missing from current tree")
+            continue
+        if name not in base_files:
+            card.problems.append(f"{name}: current run has no committed baseline")
+            continue
+        try:
+            baseline = load_stats_json(base_files[name])
+            current = load_stats_json(cur_files[name])
+        except Exception as error:  # noqa: BLE001 - surfaced as a problem row
+            card.problems.append(str(error))
+            continue
+        one = compare_exports(baseline, current, tolerances, run=name)
+        card.drifts.extend(one.drifts)
+        card.problems.extend(one.problems)
+        card.compared_runs += 1
+        card.compared_leaves += one.compared_leaves
+    return card
+
+
+def render_scorecard(card: Scorecard, max_rows: int = 40) -> str:
+    """ASCII summary: verdict, problems, worst drifts first."""
+    lines = [
+        f"scorecard: {'PASS' if card.ok else 'FAIL'} — "
+        f"{card.compared_runs} runs, {card.compared_leaves} leaves compared, "
+        f"{len(card.failures)} over tolerance, {len(card.problems)} problems"
+    ]
+    for problem in card.problems:
+        lines.append(f"  problem: {problem}")
+    ranked = sorted(card.drifts, key=lambda d: (d.ok, -d.rel_drift))
+    for drift in ranked[:max_rows]:
+        verdict = "ok  " if drift.ok else "FAIL"
+        lines.append(
+            f"  {verdict} {drift.run}:{drift.path} "
+            f"{drift.baseline:g} -> {drift.current:g} "
+            f"({drift.rel_drift:.3%} vs tol {drift.tolerance:.3%})"
+        )
+    if len(ranked) > max_rows:
+        lines.append(f"  ... {len(ranked) - max_rows} more drifting leaves")
+    return "\n".join(lines)

@@ -11,6 +11,10 @@ Markers: ``D`` dispatch (scheduler insert), ``i`` a squashed (replayed)
 issue, ``I`` the final issue, ``C`` execution complete, ``R`` retire
 (commit), ``-`` in flight between issue and completion, ``=`` completed but
 waiting to retire, ``.`` waiting in the scheduler.
+
+The same recorded schedule also exports to the Chrome trace-event format
+for interactive viewing (:mod:`repro.obs.chrometrace`, ``repro trace
+--format=chrome``); see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ def render_pipetrace(
         )
     records = [
         (seq, processor.trace[seq])
-        for seq in range(first_seq, first_seq + count)
+        for seq in range(first_seq, max(first_seq, first_seq + count))
         if seq in processor.trace and "insert" in processor.trace[seq]
     ]
     if not records:
@@ -59,8 +63,9 @@ def _label(seq: int, record: dict) -> str:
 def _lane(record: dict, start: int, span: int) -> str:
     lane = [" "] * span
     insert = record["insert"]
-    complete = record["complete"]
     commit = record["commit"]
+    # Eliminated NOPs commit without ever executing: no completion cycle.
+    complete = record["complete"] if record.get("complete") is not None else commit
     issue_list = record.get("issues", [])
     final_issue = issue_list[-1] if issue_list else complete
 

@@ -135,6 +135,7 @@ class Processor:
         "_active_kill_bit",
         "matrix_mismatches",
         "trace",
+        "profiler",
         # -- hoisted hot-path bindings (see end of __init__) -------------
         "_entry_ready",
         "_verify_at_issue",
@@ -159,6 +160,7 @@ class Processor:
         config: MachineConfig,
         shadow_sizes: tuple[int, ...] | None = None,
         record_schedule: bool = False,
+        profile: bool = False,
     ):
         self.config = config
         self.feed = feed
@@ -224,6 +226,14 @@ class Processor:
         self.matrix_mismatches = 0
         #: per-seq timing trace (tests and debugging): seq -> event dict
         self.trace: dict[int, dict] | None = {} if record_schedule else None
+        #: per-stage wall-time profiler; built (and the phase methods
+        #: wrapped) only when asked for, so the default loop pays nothing.
+        if profile:
+            from repro.obs.registry import StageProfiler
+
+            self.profiler: "StageProfiler | None" = StageProfiler()
+        else:
+            self.profiler = None
 
         # Hot-path bindings: pre-resolved bound methods and config scalars,
         # saving an attribute-chain walk per use inside the cycle loop.
@@ -256,6 +266,16 @@ class Processor:
         dispatch = self._dispatch
         fetch = self._fetch
         commit = self._commit
+        if self.profiler is not None:
+            # Wall-time the five phases.  Only the profiled path pays the
+            # perf_counter pair per phase call; the bindings above stay the
+            # raw bound methods otherwise.
+            wrap = self.profiler.wrap
+            process_events = wrap("process_events", process_events)
+            select_and_issue = wrap("select_and_issue", select_and_issue)
+            dispatch = wrap("dispatch", dispatch)
+            fetch = wrap("fetch", fetch)
+            commit = wrap("commit", commit)
         rob = self.rob
         frontend = self._frontend
         while True:
@@ -880,6 +900,31 @@ class Processor:
             self._total_committed += 1
             self._last_commit_cycle = now
             committed += 1
+
+    # ==================================================================
+    # Observability (post-run, guarded publishing — never in the loop).
+    # ==================================================================
+    def publish_metrics(self, registry) -> None:
+        """Publish this machine's finished counters into a MetricsRegistry.
+
+        Fans out to every component that kept its own tallies during the
+        run: the paper counters (:meth:`SimStats.publish_metrics`), the
+        select logic, the register-port policy, the cache hierarchy, the
+        branch unit and — when profiling was on — per-stage wall times.
+        """
+        self.stats.publish_metrics(registry)
+        self.selector.publish_metrics(registry)
+        self.rf_policy.publish_metrics(registry)
+        for level in ("il1", "dl1", "l2"):
+            cache_stats = getattr(self.memory, level).stats
+            registry.counter(f"mem.{level}.accesses").set(cache_stats.accesses)
+            registry.counter(f"mem.{level}.hits").set(cache_stats.hits)
+            registry.counter(f"mem.{level}.misses").set(cache_stats.misses)
+            registry.counter(f"mem.{level}.evictions").set(cache_stats.evictions)
+        registry.counter("sim.matrix_mismatches").set(self.matrix_mismatches)
+        registry.counter("sim.now_cycles").set(self.now)
+        if self.profiler is not None:
+            self.profiler.publish(registry)
 
 
 def simulate(

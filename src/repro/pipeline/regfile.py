@@ -23,7 +23,8 @@ from repro.pipeline.config import MachineConfig, RegFileModel, SchedulerModel
 class RegisterFilePolicy:
     """Issue-time read-port accounting for one machine configuration."""
 
-    __slots__ = ("model", "width", "fast_side_now_only", "_ports_used")
+    __slots__ = ("model", "width", "fast_side_now_only", "_ports_used",
+                 "crossbar_rejections", "sequential_decisions")
 
     def __init__(self, config: MachineConfig):
         self.model = config.regfile
@@ -35,6 +36,9 @@ class RegisterFilePolicy:
             and config.regfile is RegFileModel.SEQUENTIAL
         )
         self._ports_used = 0
+        #: lifetime tallies (published post-run, see ``publish_metrics``)
+        self.crossbar_rejections = 0
+        self.sequential_decisions = 0
 
     def begin_cycle(self) -> None:
         self._ports_used = 0
@@ -65,7 +69,10 @@ class RegisterFilePolicy:
             return False
         if len(entry.operands) < 2:
             return False
-        return not self.has_now_bit(entry, now)
+        sequential = not self.has_now_bit(entry, now)
+        if sequential:
+            self.sequential_decisions += 1
+        return sequential
 
     # ------------------------------------------------------------------
     def try_reserve(self, entry: IQEntry, now: int) -> bool:
@@ -74,6 +81,13 @@ class RegisterFilePolicy:
             return True
         needed = self.reads_needed(entry, now)
         if self._ports_used + needed > self.width:
+            self.crossbar_rejections += 1
             return False
         self._ports_used += needed
         return True
+
+    # ------------------------------------------------------------------
+    def publish_metrics(self, registry, prefix: str = "regfile") -> None:
+        """Copy the port-policy tallies into a MetricsRegistry (post-run)."""
+        registry.counter(f"{prefix}.crossbar_rejections").set(self.crossbar_rejections)
+        registry.counter(f"{prefix}.sequential_decisions").set(self.sequential_decisions)

@@ -1,0 +1,108 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.chrometrace import export_chrome_trace, write_chrome_trace
+from repro.pipeline.config import FOUR_WIDE
+from repro.pipeline.processor import Processor
+from tests.util import ScriptedFeed, op
+
+
+def traced(ops):
+    processor = Processor(ScriptedFeed(ops), FOUR_WIDE, record_schedule=True)
+    processor.run(max_insts=len(ops), warmup=0)
+    return processor
+
+
+class TestExport:
+    def test_requires_recording(self):
+        processor = Processor(ScriptedFeed([op(0, dest=1)]), FOUR_WIDE)
+        processor.run(max_insts=1, warmup=0)
+        with pytest.raises(SimulationError):
+            export_chrome_trace(processor)
+
+    def test_phases_per_instruction(self):
+        processor = traced([op(0, dest=1, srcs=(20,)), op(1, dest=2, srcs=(1,))])
+        document = export_chrome_trace(processor)
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        cats = {e["cat"] for e in spans}
+        assert "exec" in cats  # every instruction executes
+        assert document["otherData"]["instructions"] == 2
+        for event in spans:
+            assert event["dur"] > 0
+            assert event["ts"] >= 0
+
+    def test_lanes_never_overlap(self):
+        ops = [op(i, dest=1 + (i % 6), srcs=(20,)) for i in range(24)]
+        processor = traced(ops)
+        document = export_chrome_trace(processor)
+        busy: dict[int, list[tuple[int, int]]] = {}
+        for event in document["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            busy.setdefault(event["tid"], []).append(
+                (event["ts"], event["ts"] + event["dur"])
+            )
+        for intervals in busy.values():
+            seqs = sorted({json.dumps(i) for i in intervals})
+            assert seqs  # lanes are non-empty
+        # Distinct instructions on one lane must not interleave cycles.
+        per_lane_instr: dict[int, dict[int, tuple[int, int]]] = {}
+        for event in document["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            lane = per_lane_instr.setdefault(event["tid"], {})
+            seq = event["args"]["seq"]
+            start, end = event["ts"], event["ts"] + event["dur"]
+            if seq in lane:
+                start = min(start, lane[seq][0])
+                end = max(end, lane[seq][1])
+            lane[seq] = (start, end)
+        for lane in per_lane_instr.values():
+            spans = sorted(lane.values())
+            for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+                assert next_start >= prev_end
+
+    def test_squashed_issue_instant_events(self):
+        ops = [
+            op(0, "LDQ", dest=1, srcs=(20,), mem_addr=0x9000),  # cold miss
+            op(1, dest=2, srcs=(1,)),                            # replayed
+        ]
+        processor = traced(ops)
+        document = export_chrome_trace(processor)
+        instants = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        assert instants, "the dependent's squashed issue must be an instant event"
+        assert all(e["cat"] == "replay" for e in instants)
+        assert instants[0]["args"]["replays"] >= 1
+
+    def test_eliminated_nop_has_no_exec_span(self):
+        processor = traced([op(0, "NOP2"), op(1, dest=1, srcs=(20,))])
+        document = export_chrome_trace(processor)
+        nop_spans = [
+            e for e in document["traceEvents"]
+            if e["ph"] == "X" and e["args"]["seq"] == 0
+        ]
+        assert all(e["cat"] != "exec" for e in nop_spans)
+
+    def test_first_seq_and_count_window(self):
+        ops = [op(i, dest=1 + (i % 5), srcs=(20,)) for i in range(10)]
+        processor = traced(ops)
+        document = export_chrome_trace(processor, first_seq=8, count=5)
+        seqs = {
+            e["args"]["seq"]
+            for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert seqs == {8, 9}
+        empty = export_chrome_trace(processor, first_seq=99)
+        assert empty["otherData"]["instructions"] == 0
+
+
+class TestWrite:
+    def test_file_is_valid_json(self, tmp_path):
+        processor = traced([op(0, dest=1, srcs=(20,))])
+        path = write_chrome_trace(processor, tmp_path / "deep" / "t.trace.json")
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document

@@ -1,0 +1,119 @@
+"""Tests for the versioned stats export (run manifests)."""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import fingerprint
+from repro.errors import SimulationError
+from repro.obs.export import (
+    STATS_SCHEMA_VERSION,
+    build_stats_export,
+    load_stats_json,
+    stats_filename,
+    write_stats_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.pipeline.config import FOUR_WIDE
+from repro.pipeline.processor import TIMING_MODEL_VERSION, Processor
+from repro.pipeline.stats import STAT_COUNTER_FIELDS
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+RUN = dict(benchmark="gzip", seed=9, insts=400, warmup=200)
+
+
+@pytest.fixture(scope="module")
+def run():
+    workload = SyntheticWorkload(get_profile(RUN["benchmark"]), seed=RUN["seed"])
+    processor = Processor(workload, FOUR_WIDE, profile=True)
+    result = processor.run(max_insts=RUN["insts"], warmup=RUN["warmup"])
+    return processor, result
+
+
+@pytest.fixture(scope="module")
+def document(run):
+    processor, result = run
+    return build_stats_export(result, FOUR_WIDE, **RUN)
+
+
+class TestSchema:
+    def test_versioned(self, document):
+        assert document["schema_version"] == STATS_SCHEMA_VERSION
+        assert document["timing_model_version"] == TIMING_MODEL_VERSION
+
+    def test_fingerprint_matches_result_cache(self, document):
+        assert document["fingerprint"] == fingerprint(
+            RUN["benchmark"], RUN["seed"], RUN["insts"], RUN["warmup"],
+            FOUR_WIDE, None,
+        )
+
+    def test_run_identity(self, document):
+        assert document["run"] == {
+            "benchmark": "gzip", "seed": 9, "insts": 400, "warmup": 200,
+            "shadow_sizes": None, "workload": "gzip", "config_name": "4-wide",
+        }
+
+    def test_every_paper_counter_present(self, document):
+        """Table 2/3 and Figure 4/6/7/10 counters all land in the export."""
+        counters = document["result"]["counters"]
+        for name in STAT_COUNTER_FIELDS:
+            assert name in counters, name
+        # Figure 4 / Figure 6 distributions.
+        assert "ready_at_insert" in document["result"]
+        assert "wakeup_slack" in document["result"]
+        # Table 3 order stability.
+        assert set(document["result"]["order"]) == {
+            "same_order", "diff_order", "last_left", "last_right", "simultaneous",
+        }
+        # Figure-level derived ratios.
+        assert set(document["derived"]) == {
+            "ipc", "frac_two_pending", "frac_simultaneous", "frac_two_rf_reads",
+            "predictor_accuracy", "branch_mispredict_rate",
+        }
+        assert set(document["order_derived"]) == {"frac_same", "frac_last_left"}
+
+    def test_config_is_fully_expanded(self, document):
+        assert document["config"]["width"] == 4
+        assert document["config"]["scheduler"] == "base"
+        assert document["config"]["mem"]["dl1"]["size_bytes"] == 64 * 1024
+
+    def test_optional_sections(self, run):
+        processor, result = run
+        registry = MetricsRegistry()
+        processor.publish_metrics(registry)
+        document = build_stats_export(
+            result, FOUR_WIDE, registry=registry, profile=processor.profiler, **RUN
+        )
+        assert document["metrics"]["sim.committed"] == result.stats.committed
+        assert document["profile"]["fetch"]["calls"] == processor.now
+        bare = build_stats_export(result, FOUR_WIDE, **RUN)
+        assert "metrics" not in bare and "profile" not in bare
+
+
+class TestRoundTrip:
+    def test_write_load_identity(self, document, tmp_path):
+        path = write_stats_json(document, tmp_path)
+        assert path.name == stats_filename("gzip", "4-wide", 9)
+        assert load_stats_json(path) == document
+
+    def test_rewrite_is_byte_identical(self, document, tmp_path):
+        first = write_stats_json(document, tmp_path / "a").read_bytes()
+        second = write_stats_json(document, tmp_path / "b").read_bytes()
+        assert first == second
+
+    def test_load_rejects_wrong_schema_version(self, document, tmp_path):
+        path = write_stats_json(document, tmp_path)
+        tampered = json.loads(path.read_text())
+        tampered["schema_version"] = STATS_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(tampered))
+        with pytest.raises(SimulationError, match="schema version"):
+            load_stats_json(path)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "x.stats.json"
+        path.write_text("{ truncated")
+        with pytest.raises(SimulationError, match="unreadable"):
+            load_stats_json(path)
+        with pytest.raises(SimulationError):
+            load_stats_json(tmp_path / "missing.stats.json")

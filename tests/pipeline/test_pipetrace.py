@@ -49,6 +49,48 @@ class TestRenderPipetrace:
         processor = traced_processor([op(0, dest=1, srcs=(20,))])
         assert "no committed" in render_pipetrace(processor, first_seq=99)
 
+    def test_first_seq_far_past_end(self):
+        processor = traced_processor([op(0, dest=1, srcs=(20,))])
+        text = render_pipetrace(processor, first_seq=10_000, count=1000)
+        assert "no committed" in text
+
+    def test_empty_window_zero_or_negative_count(self):
+        processor = traced_processor([op(0, dest=1, srcs=(20,))])
+        assert "no committed" in render_pipetrace(processor, count=0)
+        assert "no committed" in render_pipetrace(processor, count=-5)
+
+    def test_empty_trace_renders_placeholder(self):
+        processor = Processor(ScriptedFeed([]), FOUR_WIDE, record_schedule=True)
+        processor.run(max_insts=0, warmup=0)
+        assert "no committed" in render_pipetrace(processor)
+
+    def test_eliminated_nop_renders_without_exec_phase(self):
+        """NOP2s commit without completing; the lane must not crash."""
+        processor = traced_processor([op(0, "NOP2"), op(1, dest=1, srcs=(20,))])
+        text = render_pipetrace(processor, count=2)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 3  # header + NOP + ADD
+        nop_row = next(row for row in rows if "NOP2" in row)
+        lane = nop_row.split("|", 1)[1]
+        # The NOP commits in its insert cycle: one R cell, no exec dashes.
+        assert "R" in lane
+        assert "-" not in lane and "I" not in lane
+
+    def test_replay_markers_squashed_then_final(self):
+        """A replayed instruction shows i (squashed) before I (final)."""
+        ops = [
+            op(0, "LDQ", dest=1, srcs=(20,), mem_addr=0x9000),
+            op(1, dest=2, srcs=(1,)),
+        ]
+        processor = traced_processor(ops)
+        text = render_pipetrace(processor)
+        dependent_row = next(
+            line for line in text.splitlines() if line.lstrip().startswith("1 ")
+        )
+        lane = dependent_row.split("|", 1)[1]
+        assert "i" in lane and "I" in lane
+        assert lane.index("i") < lane.index("I")
+
     def test_requires_recording(self):
         processor = Processor(ScriptedFeed([op(0, dest=1)]), FOUR_WIDE)
         processor.run(max_insts=1, warmup=0)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -73,6 +75,119 @@ class TestExperiment:
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "fig99"]) == 2
+
+
+class TestExportStats:
+    def test_export_writes_versioned_json(self, tmp_path, capsys):
+        out = tmp_path / "stats"
+        code = main(
+            ["export-stats", "gzip", "--insts", "300", "--warmup", "150",
+             "--seed", "5", "--no-cache", "--out", str(out), "--jobs", "1"]
+        )
+        assert code == 0
+        files = sorted(out.glob("*.stats.json"))
+        assert len(files) == 1
+        document = json.loads(files[0].read_text())
+        assert document["schema_version"] == 1
+        assert document["run"]["benchmark"] == "gzip"
+        assert str(files[0]) in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        assert main(["export-stats", "doom", "--out", "/tmp/x"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_ascii_kernel_trace(self, capsys):
+        assert main(["trace", "fibonacci", "--count", "6"]) == 0
+        assert "legend:" in capsys.readouterr().out
+
+    def test_ascii_benchmark_trace(self, capsys):
+        assert main(["trace", "gzip", "--insts", "200", "--count", "4"]) == 0
+        assert "legend:" in capsys.readouterr().out
+
+    def test_chrome_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "fib.trace.json"
+        code = main(
+            ["trace", "fibonacci", "--format", "chrome", "--out", str(out)]
+        )
+        assert code == 0
+        assert "perfetto" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+
+    def test_unknown_name_rejected(self, capsys):
+        assert main(["trace", "doom"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestReport:
+    def _export(self, out, tmp_path, mutate=None):
+        main(
+            ["export-stats", "gzip", "--insts", "300", "--warmup", "150",
+             "--seed", "5", "--no-cache", "--out", str(out), "--jobs", "1"]
+        )
+        if mutate is not None:
+            path = next(out.glob("*.stats.json"))
+            document = json.loads(path.read_text())
+            mutate(document)
+            path.write_text(json.dumps(document, sort_keys=True) + "\n")
+
+    def test_clean_baseline_passes(self, tmp_path, capsys):
+        self._export(tmp_path / "baseline", tmp_path)
+        self._export(tmp_path / "current", tmp_path)
+        code = main(
+            ["report", "--baseline", str(tmp_path / "baseline"),
+             "--current", str(tmp_path / "current")]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_drift_fails(self, tmp_path, capsys):
+        self._export(tmp_path / "baseline", tmp_path)
+
+        def drift(document):
+            document["derived"]["ipc"] *= 1.10
+
+        self._export(tmp_path / "current", tmp_path, mutate=drift)
+        code = main(
+            ["report", "--baseline", str(tmp_path / "baseline"),
+             "--current", str(tmp_path / "current")]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tolerance_flags_loosen_the_gate(self, tmp_path):
+        self._export(tmp_path / "baseline", tmp_path)
+
+        def drift(document):
+            document["derived"]["ipc"] *= 1.10
+
+        self._export(tmp_path / "current", tmp_path, mutate=drift)
+        code = main(
+            ["report", "--baseline", str(tmp_path / "baseline"),
+             "--current", str(tmp_path / "current"),
+             "--tolerance", "0.5", "--ipc-tolerance", "0.5"]
+        )
+        assert code == 0
+
+    def test_missing_baseline_dir_fails(self, tmp_path):
+        self._export(tmp_path / "current", tmp_path)
+        code = main(
+            ["report", "--baseline", str(tmp_path / "nope"),
+             "--current", str(tmp_path / "current")]
+        )
+        assert code == 1
+
+
+class TestRunProfile:
+    def test_run_profile_prints_stage_breakdown(self, capsys):
+        code = main(
+            ["run", "gzip", "--insts", "300", "--warmup", "150", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage wall time" in out and "select_and_issue" in out
 
 
 class TestParser:
