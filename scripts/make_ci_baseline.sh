@@ -5,13 +5,28 @@
 # results/ci_baseline/, and commit it together with the model change.  The
 # arguments must stay in sync with GATE_BENCHMARKS / GATE_ARGS in
 # .github/workflows/ci.yml — the gate job replays exactly this command and
-# scorecards the result against the committed tree.
+# scorecards the result against the committed tree.  The sync check below
+# fails fast if the two ever drift apart.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BENCHMARKS="gzip gcc"
+ARGS="--insts 2000 --warmup 1000 --seed 7 --no-cache"
+
+WORKFLOW=.github/workflows/ci.yml
+ci_benchmarks=$(sed -n 's/^  GATE_BENCHMARKS: //p' "$WORKFLOW")
+ci_args=$(sed -n 's/^  GATE_ARGS: //p' "$WORKFLOW")
+if [[ "$ci_benchmarks" != "$BENCHMARKS" || "$ci_args" != "$ARGS" ]]; then
+  echo "error: $WORKFLOW and $0 disagree on the gate command:" >&2
+  echo "  ci.yml:  GATE_BENCHMARKS='$ci_benchmarks' GATE_ARGS='$ci_args'" >&2
+  echo "  script:  GATE_BENCHMARKS='$BENCHMARKS' GATE_ARGS='$ARGS'" >&2
+  echo "Update both together, then rerun." >&2
+  exit 1
+fi
+
 rm -rf results/ci_baseline
-PYTHONPATH=src python -m repro export-stats gzip gcc \
-  --insts 2000 --warmup 1000 --seed 7 --no-cache --jobs 1 \
+PYTHONPATH=src python -m repro export-stats $BENCHMARKS \
+  $ARGS --jobs 1 \
   --out results/ci_baseline
 
 echo "Baseline regenerated:"

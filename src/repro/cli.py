@@ -9,7 +9,10 @@ Commands:
 * ``prefetch`` — warm the on-disk result cache with the base-machine runs;
 * ``export-stats`` — write schema-versioned stats JSON, one per run;
 * ``trace`` — render a pipeline trace (ASCII or Chrome/Perfetto JSON);
-* ``report`` — regression scorecard: diff a stats tree against a baseline.
+* ``report`` — regression scorecard: diff a stats tree against a baseline;
+* ``fuzz`` — differential fuzzing: random programs co-simulated against
+  the functional emulator with pipeline invariant checkers armed
+  (docs/VERIFICATION.md), with failure shrinking and corpus replay.
 
 ``experiment``, ``prefetch`` and ``export-stats`` accept ``--jobs N`` to
 fan independent simulations over N worker processes (docs/PERFORMANCE.md);
@@ -214,6 +217,54 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    # Imported here: the verify package is needed only by this command.
+    from repro.verify import config_matrix, replay_corpus, run_fuzz
+
+    config_names = None if args.configs == "all" else args.configs.split(",")
+    configs = config_matrix(names=config_names)
+    if args.replay is not None:
+        report = replay_corpus(args.replay, configs=configs, budget=args.budget)
+    else:
+        if args.gen_seed is not None:
+            raw_seeds, programs = [args.gen_seed], 1
+        else:
+            raw_seeds, programs = None, args.programs
+
+        def progress(done: int, total: int) -> None:
+            if done % 50 == 0 or done == total:
+                print(f"  fuzz progress: {done}/{total} programs", flush=True)
+
+        report = run_fuzz(
+            programs,
+            seed=args.seed,
+            configs=configs,
+            budget=args.budget,
+            shrink=not args.no_shrink,
+            corpus_dir=args.out,
+            max_failures=args.max_failures,
+            raw_seeds=raw_seeds,
+            progress=progress if not args.quiet else None,
+        )
+    print(report.summary())
+    for failure in report.failures:
+        print()
+        if failure.repro_path is not None:
+            print(
+                "repro: PYTHONPATH=src python -m repro fuzz "
+                f"--replay {failure.repro_path}"
+            )
+        elif failure.seed is not None:
+            print(
+                "repro: PYTHONPATH=src python -m repro fuzz "
+                f"--gen-seed {failure.seed} --configs {failure.config_name}"
+            )
+        if failure.shrunk_source is not None:
+            print("shrunken repro:")
+            print(failure.shrunk_source.rstrip())
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args) -> int:
     tolerances = dict(DEFAULT_TOLERANCES)
     if args.tolerance is not None:
@@ -327,6 +378,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_machine_arguments(trace_parser)
 
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing vs the functional emulator, exit 1 on failure",
+    )
+    fuzz_parser.add_argument(
+        "--programs", type=int, default=200, metavar="N",
+        help="random programs to generate and check (default 200)",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument(
+        "--gen-seed", type=int, default=None, metavar="N",
+        help="check exactly one program, from this raw generator seed "
+        "(the seed printed with a failure)",
+    )
+    fuzz_parser.add_argument(
+        "--budget", type=int, default=50_000, metavar="STEPS",
+        help="functional-emulator step budget per program (default 50000)",
+    )
+    fuzz_parser.add_argument(
+        "--configs", default="all", metavar="NAMES",
+        help="comma-separated matrix filter, e.g. 'tag-elim' or "
+        "'base+nonsel,seq-wakeup+sel' (default: all 8 configurations)",
+    )
+    fuzz_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write shrunken repro files for failures into DIR",
+    )
+    fuzz_parser.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="replay a repro file, or every *.hpa case in a directory, "
+        "instead of generating programs",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip test-case minimization of failures",
+    )
+    fuzz_parser.add_argument(
+        "--max-failures", type=int, default=5, metavar="N",
+        help="stop fuzzing after N failures (default 5)",
+    )
+    fuzz_parser.add_argument("--quiet", action="store_true")
+
     report_parser = subparsers.add_parser(
         "report",
         help="regression scorecard: diff two stats-JSON trees, exit 1 on drift",
@@ -362,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
         "export-stats": _cmd_export_stats,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

@@ -35,3 +35,13 @@ class SimulationError(ReproError):
     Seeing this exception always indicates a bug in the simulator (a broken
     invariant), never a property of the simulated program.
     """
+
+
+class VerificationError(ReproError):
+    """Raised by the differential-verification layer (:mod:`repro.verify`).
+
+    Base class for pipeline invariant violations and lockstep co-simulation
+    divergences.  Like :class:`SimulationError`, seeing one means the timing
+    simulator (or a mutation injected by a test) is buggy — never the
+    simulated program.
+    """

@@ -83,3 +83,17 @@ class FunctionalUnits:
 
     def pool_size(self, op_class: OpClass) -> int:
         return self._counts[_POOL_BY_IDX[op_class.idx]]
+
+
+def pool_index(op_class: OpClass) -> int:
+    """Index of the issue-bandwidth pool *op_class* shares (0..4).
+
+    Exposed for the invariant checkers (:mod:`repro.verify.invariants`),
+    which mirror the per-pool issue accounting independently.
+    """
+    return _POOL_BY_IDX[op_class.idx]
+
+
+def is_non_pipelined(op_class: OpClass) -> bool:
+    """True for classes that occupy their unit for the full latency."""
+    return _NON_PIPELINED_BY_IDX[op_class.idx]

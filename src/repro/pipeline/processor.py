@@ -136,6 +136,7 @@ class Processor:
         "matrix_mismatches",
         "trace",
         "profiler",
+        "checker",
         # -- hoisted hot-path bindings (see end of __init__) -------------
         "_entry_ready",
         "_verify_at_issue",
@@ -161,6 +162,7 @@ class Processor:
         shadow_sizes: tuple[int, ...] | None = None,
         record_schedule: bool = False,
         profile: bool = False,
+        check: bool = False,
     ):
         self.config = config
         self.feed = feed
@@ -234,6 +236,15 @@ class Processor:
             self.profiler: "StageProfiler | None" = StageProfiler()
         else:
             self.profiler = None
+        #: differential/invariant checker (repro.verify); built only when
+        #: asked for — the default loop pays one ``is not None`` test at
+        #: issue, commit and kill, nothing per cycle.
+        if check:
+            from repro.verify.checker import PipelineChecker
+
+            self.checker: "PipelineChecker | None" = PipelineChecker(self)
+        else:
+            self.checker = None
 
         # Hot-path bindings: pre-resolved bound methods and config scalars,
         # saving an attribute-chain walk per use inside the cycle loop.
@@ -512,7 +523,8 @@ class Processor:
             record["opcode"] = entry.op.opcode
             record["pc"] = entry.op.pc
 
-        if not self._verify_at_issue(entry, self.scoreboard, now):
+        verify_ok = self._verify_at_issue(entry, self.scoreboard, now)
+        if not verify_ok:
             # Tag elimination misschedule: scoreboard flags it after the
             # detection delay; the replay window covers everything issued
             # in the shadow, the mis-issued instruction included.
@@ -523,6 +535,8 @@ class Processor:
                 now + detect,
                 _Kill(entry, entry.epoch, (now, now + detect - 1), squash_root=True),
             )
+        if self.checker is not None:
+            self.checker.on_issue(entry, now, seq_access, verify_ok)
 
         if entry.op.is_load:
             self._issue_load(entry)
@@ -623,6 +637,8 @@ class Processor:
                     and start <= entry.issue_cycle <= end
                 ):
                     self._squash(entry)
+        if self.checker is not None:
+            self.checker.on_kill(kill)
 
     def _invalidate_tag(self, tag: int) -> None:
         """Invalidate a broadcast and cascade through its consumers."""
@@ -872,9 +888,12 @@ class Processor:
         lsq = self.lsq
         scoreboard_free = self.scoreboard.free
         trace = self.trace
+        checker = self.checker
         committed = 0
         while committed < width and rob.committable():
             entry = rob.commit_head()
+            if checker is not None:
+                checker.on_commit(entry, now)
             op = entry.op
             if op.is_store:
                 self.memory.store(op.mem_addr)

@@ -1,0 +1,63 @@
+"""Facade combining invariant and lockstep checking behind one object.
+
+``Processor(check=True)`` builds a :class:`PipelineChecker` and calls its
+three hooks from the issue, kill and commit paths (each behind a single
+``is not None`` test — the unchecked hot loop pays nothing per cycle).
+
+Lockstep co-simulation needs the actual program, so it activates only for
+feeds that expose one (``feed.program``, e.g.
+:class:`~repro.workloads.feed.EmulatorFeed`); invariant checking works for
+any feed, including the scripted streams the unit tests use.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.verify.invariants import InvariantChecker
+from repro.verify.lockstep import LockstepChecker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.core.iq import IQEntry
+    from repro.pipeline.processor import Processor, _Kill
+
+
+class PipelineChecker:
+    """Per-processor verification state: invariants plus optional lockstep."""
+
+    def __init__(self, processor: "Processor"):
+        self.processor = processor
+        self.invariants = InvariantChecker(processor)
+        program = getattr(processor.feed, "program", None)
+        if program is not None:
+            entry = getattr(processor.feed, "entry", 0)
+            self.lockstep: LockstepChecker | None = LockstepChecker(program, entry)
+        else:
+            self.lockstep = None
+
+    # ------------------------------------------------------------------
+    # Hooks called by the Processor.
+    # ------------------------------------------------------------------
+    def on_issue(
+        self, entry: "IQEntry", now: int, seq_access: bool, verify_ok: bool
+    ) -> None:
+        self.invariants.on_issue(entry, now, seq_access, verify_ok)
+
+    def on_kill(self, kill: "_Kill") -> None:
+        self.invariants.on_kill(kill)
+
+    def on_commit(self, entry: "IQEntry", now: int) -> None:
+        self.invariants.on_commit(entry, now)
+        if self.lockstep is not None:
+            self.lockstep.on_commit(entry.op, now)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Post-run check: the full program must have committed.
+
+        Only meaningful after a run that drained its feed (not one cut off
+        by an instruction budget); :func:`repro.verify.fuzz.check_source`
+        sizes its budget so a clean run always drains.
+        """
+        if self.lockstep is not None:
+            self.lockstep.finish(self.processor.now)

@@ -1,0 +1,151 @@
+"""Lockstep co-simulation: a golden emulator diffed against every commit.
+
+The timing pipeline never computes values — it replays a correct-path
+:class:`~repro.workloads.trace.DynOp` stream.  The lockstep checker runs an
+*independent* functional :class:`~repro.isa.emulator.Emulator` over the same
+program, stepping it exactly once per committed instruction, and diffs every
+architectural fact the stream carries: PC, opcode, control-flow outcome,
+effective address, destination-register value and stored memory value.
+
+This catches the whole family of commit-stream corruptions a timing bug can
+cause — dropped, duplicated, reordered or past-the-end commits — plus any
+divergence between the feed's emulator and a fresh one (nondeterminism in
+the ISA model itself).  Value fields compare NaN-equal, since FP chains can
+legitimately produce NaN on both sides.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EmulationError, VerificationError
+from repro.isa.assembler import Program
+from repro.isa.emulator import Emulator
+from repro.workloads.trace import DynOp
+
+
+def _values_equal(a: int | float, b: int | float) -> bool:
+    # NaN compares unequal to itself; two NaNs are a *matching* outcome.
+    return a == b or (a != a and b != b)
+
+
+class DivergenceError(VerificationError):
+    """Committed instruction disagrees with the golden emulator.
+
+    Attributes:
+        kind: stable category, ``"lockstep-<field>"``.
+        seq: dynamic sequence number of the diverging commit.
+        cycle: commit cycle at which the divergence was detected.
+    """
+
+    def __init__(self, field: str, cycle: int, seq: int, message: str):
+        super().__init__(f"[lockstep-{field}] cycle {cycle} seq {seq}: {message}")
+        self.kind = f"lockstep-{field}"
+        self.cycle = cycle
+        self.seq = seq
+
+
+class LockstepChecker:
+    """Golden-emulator diff of the committed instruction stream.
+
+    Example::
+
+        checker = LockstepChecker(program)
+        for entry in committed_entries:
+            checker.on_commit(entry.op, cycle)
+        checker.finish()   # the whole program must have committed
+    """
+
+    def __init__(self, program: Program, entry: int = 0):
+        self.program = program
+        self.golden = Emulator(program, entry=entry)
+        #: committed instructions verified so far
+        self.commits = 0
+
+    # ------------------------------------------------------------------
+    def on_commit(self, op: DynOp, cycle: int) -> None:
+        """Step the golden emulator once and diff it against *op*."""
+        golden = self.golden
+        if golden.halted:
+            raise DivergenceError(
+                "past-halt", cycle, op.seq,
+                f"pipeline committed {op!r} after the golden program halted",
+            )
+        try:
+            record = golden.step()
+        except EmulationError as exc:
+            raise DivergenceError(
+                "emulation", cycle, op.seq,
+                f"golden emulator failed at {op!r}: {exc}",
+            ) from exc
+        inst = record.instruction
+        if inst.is_halt:
+            raise DivergenceError(
+                "past-halt", cycle, op.seq,
+                f"golden program is at HALT but pipeline committed {op!r}",
+            )
+        if record.pc != op.pc:
+            raise DivergenceError(
+                "pc", cycle, op.seq,
+                f"committed pc {op.pc}, golden executed pc {record.pc}",
+            )
+        if inst.opcode.name != op.opcode:
+            raise DivergenceError(
+                "opcode", cycle, op.seq,
+                f"committed {op.opcode} at pc {op.pc}, golden executed "
+                f"{inst.opcode.name}",
+            )
+        if record.next_pc != op.next_pc:
+            raise DivergenceError(
+                "next-pc", cycle, op.seq,
+                f"committed next_pc {op.next_pc}, golden went to "
+                f"{record.next_pc} (pc {op.pc})",
+            )
+        if bool(record.taken) != bool(op.taken):
+            raise DivergenceError(
+                "taken", cycle, op.seq,
+                f"committed taken={op.taken}, golden taken={record.taken} "
+                f"(pc {op.pc})",
+            )
+        if record.mem_addr != op.mem_addr:
+            raise DivergenceError(
+                "mem-addr", cycle, op.seq,
+                f"committed mem_addr {op.mem_addr}, golden computed "
+                f"{record.mem_addr} (pc {op.pc})",
+            )
+        # Value diffs only where the stream carries values (execution-driven
+        # feeds); profile-driven streams leave them None and skip.
+        if inst.writes_register and op.dest_value is not None:
+            golden_value = golden.read_reg(inst.dest)
+            if not _values_equal(golden_value, op.dest_value):
+                raise DivergenceError(
+                    "dest-value", cycle, op.seq,
+                    f"committed dest value {op.dest_value!r}, golden wrote "
+                    f"{golden_value!r} (pc {op.pc}, {op.opcode})",
+                )
+        if inst.is_store and op.store_value is not None:
+            golden_value = golden.read_mem(record.mem_addr)
+            if not _values_equal(golden_value, op.store_value):
+                raise DivergenceError(
+                    "store-value", cycle, op.seq,
+                    f"committed store value {op.store_value!r}, golden wrote "
+                    f"{golden_value!r} (pc {op.pc})",
+                )
+        self.commits += 1
+
+    # ------------------------------------------------------------------
+    def finish(self, cycle: int = -1) -> None:
+        """Assert the whole program committed: the golden PC sits at HALT.
+
+        Call only after a run expected to drain the feed completely; a run
+        truncated by an instruction budget will legitimately stop early.
+        """
+        golden = self.golden
+        if golden.halted:
+            return
+        pc = golden.pc
+        instructions = self.program.instructions
+        if not 0 <= pc < len(instructions) or not instructions[pc].is_halt:
+            raise DivergenceError(
+                "missing-commits", cycle, self.commits,
+                f"pipeline drained after {self.commits} commits but the "
+                f"golden program is only at pc {pc} (not HALT)",
+            )

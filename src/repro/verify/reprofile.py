@@ -1,0 +1,104 @@
+"""Replayable repro files for fuzz failures.
+
+A repro file is a plain HPRISC assembly file whose leading comment lines
+carry structured metadata (``; key: value``).  Because the metadata lines
+are ordinary assembly comments, the *whole file* assembles as-is — a
+shrunken failure can be pasted straight into ``repro kernel``-style tools,
+and the fuzzer replays it with::
+
+    PYTHONPATH=src python -m repro fuzz --replay tests/verify/corpus/<case>.hpa
+
+The regression corpus under ``tests/verify/corpus/`` is a directory of
+these files, replayed by the tier-1 suite and by CI.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+#: File extension used by repro cases ("HPRISC assembly").
+REPRO_SUFFIX = ".hpa"
+
+_HEADER_RE = re.compile(r"^;\s*([a-z][a-z0-9-]*):\s*(.*)$")
+#: Metadata keys recognized in the header block.
+_KNOWN_KEYS = ("repro-case", "kind", "config", "seed", "note", "replay")
+
+
+@dataclass
+class ReproCase:
+    """One replayable failure: assembly source plus provenance metadata."""
+
+    source: str
+    #: failure category (an invariant/lockstep kind, or "" if unknown)
+    kind: str = ""
+    #: machine configuration name the failure fired under
+    config: str = ""
+    #: generator seed that produced the original program (None for
+    #: hand-written cases)
+    seed: int | None = None
+    #: free-form one-line description
+    note: str = ""
+
+
+def write_repro(case: ReproCase, path: str | Path) -> Path:
+    """Write *case* to *path* as a self-describing assembly file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = ["; repro-case: v1"]
+    if case.kind:
+        lines.append(f"; kind: {case.kind}")
+    if case.config:
+        lines.append(f"; config: {case.config}")
+    if case.seed is not None:
+        lines.append(f"; seed: {case.seed}")
+    if case.note:
+        lines.append(f"; note: {case.note.splitlines()[0]}")
+    lines.append(
+        f"; replay: PYTHONPATH=src python -m repro fuzz --replay {path}"
+    )
+    lines.append("")
+    body = case.source.rstrip("\n")
+    path.write_text("\n".join(lines) + "\n" + body + "\n")
+    return path
+
+
+def read_repro(path: str | Path) -> ReproCase:
+    """Parse a repro file back into a :class:`ReproCase`.
+
+    Header parsing is forgiving: the metadata block is whatever prefix of
+    the file consists of recognized ``; key: value`` lines (plus blanks);
+    everything after it is the program source.  A plain assembly file with
+    no header is a valid repro case with empty metadata.
+    """
+    text = Path(path).read_text()
+    case = ReproCase(source="")
+    lines = text.splitlines()
+    body_start = 0
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            body_start = index + 1
+            continue
+        match = _HEADER_RE.match(stripped)
+        if match is None or match.group(1) not in _KNOWN_KEYS:
+            body_start = index
+            break
+        key, value = match.group(1), match.group(2).strip()
+        if key == "kind":
+            case.kind = value
+        elif key == "config":
+            case.config = value
+        elif key == "seed":
+            try:
+                case.seed = int(value)
+            except ValueError:
+                case.seed = None
+        elif key == "note":
+            case.note = value
+        body_start = index + 1
+    else:
+        body_start = len(lines)
+    case.source = "\n".join(lines[body_start:]).strip("\n") + "\n"
+    return case

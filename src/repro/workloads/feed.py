@@ -35,15 +35,27 @@ class EmulatorFeed:
         seq = 0
         while not emulator.halted:
             record = emulator.step()
-            if record.instruction.is_halt:
+            inst = record.instruction
+            if inst.is_halt:
                 return
+            # Architectural values, read back right after the step: they
+            # feed the lockstep differential checker (repro.verify) and are
+            # invisible to the timing model.
+            dest_value = (
+                emulator.read_reg(inst.dest) if inst.writes_register else None
+            )
+            store_value = (
+                emulator.read_mem(record.mem_addr) if inst.is_store else None
+            )
             yield dynop_from_instruction(
                 seq=seq,
                 pc=record.pc,
-                inst=record.instruction,
+                inst=inst,
                 mem_addr=record.mem_addr,
                 taken=record.taken,
                 next_pc=record.next_pc,
+                dest_value=dest_value,
+                store_value=store_value,
             )
             seq += 1
 

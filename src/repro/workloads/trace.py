@@ -36,6 +36,10 @@ class DynOp:
         next_pc: actual next static instruction id.
         static_target: decode-time target for direct branches, else None.
         is_two_source_format / is_eliminated_nop: Figure 2/3 classification.
+        dest_value: architectural value written to ``dest`` (execution-driven
+            feeds only; None for profile-driven streams).  Consumed by the
+            lockstep checker (:mod:`repro.verify.lockstep`), never by timing.
+        store_value: value the store writes to memory (same caveats).
     """
 
     __slots__ = (
@@ -53,6 +57,8 @@ class DynOp:
         "static_target",
         "is_two_source_format",
         "is_eliminated_nop",
+        "dest_value",
+        "store_value",
         "is_load",
         "is_store",
         "is_branch",
@@ -76,6 +82,8 @@ class DynOp:
         static_target: int | None = None,
         is_two_source_format: bool = False,
         is_eliminated_nop: bool = False,
+        dest_value: int | float | None = None,
+        store_value: int | float | None = None,
     ):
         self.seq = seq
         self.pc = pc
@@ -91,6 +99,8 @@ class DynOp:
         self.static_target = static_target
         self.is_two_source_format = is_two_source_format
         self.is_eliminated_nop = is_eliminated_nop
+        self.dest_value = dest_value
+        self.store_value = store_value
         # Classification flags the scheduler reads on nearly every cycle an
         # instruction is in flight; precomputed here so the hot loop does
         # plain slot reads instead of property descriptors + enum compares.
@@ -115,6 +125,8 @@ def dynop_from_instruction(
     mem_addr: int | None = None,
     taken: bool = False,
     next_pc: int | None = None,
+    dest_value: int | float | None = None,
+    store_value: int | float | None = None,
 ) -> DynOp:
     """Build a :class:`DynOp` from a decoded static instruction."""
     eliminated = inst.is_eliminated_nop
@@ -143,4 +155,6 @@ def dynop_from_instruction(
         static_target=inst.target,
         is_two_source_format=inst.is_two_source_format,
         is_eliminated_nop=eliminated,
+        dest_value=dest_value,
+        store_value=store_value,
     )

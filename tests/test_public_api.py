@@ -17,6 +17,7 @@ _PUBLIC_MODULES = [
     "repro.workloads",
     "repro.timing",
     "repro.analysis",
+    "repro.verify",
     "repro.cli",
 ]
 

@@ -1,0 +1,32 @@
+"""Regression corpus: every checked-in repro case must replay clean.
+
+Each ``tests/verify/corpus/*.hpa`` file is a program that once exposed (or
+specifically stresses) a scheduler corner — store-to-load forwarding,
+non-pipelined divider chains, loop-carried branches, cold-miss replay.  The
+replay runs every case across the full eight-machine configuration matrix:
+a once-fixed bug must stay fixed everywhere.
+"""
+
+from pathlib import Path
+
+from repro.verify import REPRO_SUFFIX, read_repro, replay_corpus
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def test_corpus_is_populated():
+    cases = sorted(CORPUS.glob(f"*{REPRO_SUFFIX}"))
+    assert len(cases) >= 3
+
+
+def test_corpus_files_have_metadata():
+    for path in CORPUS.glob(f"*{REPRO_SUFFIX}"):
+        case = read_repro(path)
+        assert case.source.strip(), f"{path.name} has no program body"
+        assert case.kind, f"{path.name} lacks a kind header"
+
+
+def test_corpus_replays_clean_across_matrix():
+    report = replay_corpus(CORPUS)
+    assert report.checked == report.programs * 8
+    assert report.ok, "\n" + report.summary()

@@ -1,0 +1,180 @@
+"""Lockstep co-simulation: every commit-stream corruption must be caught."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.isa.assembler import assemble
+from repro.pipeline.processor import Processor
+from repro.verify import DivergenceError, LockstepChecker, config_matrix
+from repro.workloads.feed import EmulatorFeed
+
+BASE = config_matrix(["base+nonsel"])[0]
+
+SOURCE = """
+    LDI r1, 4096
+    LDI r4, 5
+    LDI r5, 3
+    ADD r6, r4, r5
+    STQ r6, 0(r1)
+    LDQ r7, 0(r1)
+    MUL r8, r7, r4
+    BEQ r31, done
+    ADD r9, r9, #1      ; never executed
+done:
+    SUB r9, r8, r6
+    HALT
+"""
+
+
+def stream(program):
+    return list(EmulatorFeed(program))
+
+
+class TamperedFeed:
+    """An EmulatorFeed whose op stream passes through a mutation hook."""
+
+    def __init__(self, program, mutate):
+        self.program = program
+        self.entry = 0
+        self.name = "tampered"
+        self._mutate = mutate
+
+    def __iter__(self):
+        for op in EmulatorFeed(self.program):
+            result = self._mutate(op)
+            if result is not None:
+                yield result
+
+
+class TestCheckerUnit:
+    """LockstepChecker driven directly on a (possibly doctored) stream."""
+
+    def test_clean_stream_passes(self):
+        program = assemble(SOURCE)
+        checker = LockstepChecker(program)
+        ops = stream(program)
+        for op in ops:
+            checker.on_commit(op, cycle=op.seq)
+        checker.finish()
+        assert checker.commits == len(ops)
+
+    @pytest.mark.parametrize(
+        "field, corrupt",
+        [
+            ("dest-value", lambda op: setattr(op, "dest_value", 999_999)),
+            ("store-value", lambda op: setattr(op, "store_value", -1)),
+            ("pc", lambda op: setattr(op, "pc", op.pc + 1)),
+            ("next-pc", lambda op: setattr(op, "next_pc", op.next_pc + 3)),
+            ("mem-addr", lambda op: setattr(op, "mem_addr", 8)),
+            ("taken", lambda op: setattr(op, "taken", not op.taken)),
+        ],
+    )
+    def test_field_corruption_detected(self, field, corrupt):
+        program = assemble(SOURCE)
+        checker = LockstepChecker(program)
+        # Corrupt the first op that carries the field being tested.
+        picker = {
+            "dest-value": lambda op: op.dest_value is not None,
+            "store-value": lambda op: op.is_store,
+            "pc": lambda op: True,
+            "next-pc": lambda op: True,
+            "mem-addr": lambda op: op.mem_addr is not None,
+            "taken": lambda op: op.is_branch,
+        }[field]
+        corrupted = False
+        with pytest.raises(DivergenceError) as excinfo:
+            for op in stream(program):
+                if not corrupted and picker(op):
+                    corrupt(op)
+                    corrupted = True
+                checker.on_commit(op, cycle=0)
+        assert corrupted
+        assert excinfo.value.kind == f"lockstep-{field}"
+
+    def test_duplicated_commit_is_divergence(self):
+        program = assemble(SOURCE)
+        checker = LockstepChecker(program)
+        ops = stream(program)
+        with pytest.raises(DivergenceError):
+            checker.on_commit(ops[0], cycle=0)
+            checker.on_commit(ops[0], cycle=0)  # golden has moved past it
+
+    def test_commit_past_halt(self):
+        program = assemble("LDI r4, 1\nHALT")
+        checker = LockstepChecker(program)
+        ops = stream(program)
+        checker.on_commit(ops[0], cycle=0)
+        with pytest.raises(DivergenceError) as excinfo:
+            checker.on_commit(ops[0], cycle=1)
+        assert excinfo.value.kind == "lockstep-past-halt"
+
+    def test_truncated_stream_fails_finish(self):
+        program = assemble(SOURCE)
+        checker = LockstepChecker(program)
+        for op in stream(program)[:3]:
+            checker.on_commit(op, cycle=0)
+        with pytest.raises(DivergenceError) as excinfo:
+            checker.finish()
+        assert excinfo.value.kind == "lockstep-missing-commits"
+
+    def test_nan_values_compare_equal(self):
+        source = """
+            LDI r1, 4096
+            LDF f1, 0(r1)
+            MULF f1, f1, f1     ; square up to infinity...
+            MULF f1, f1, f1
+            MULF f1, f1, f1
+            MULF f1, f1, f1
+            MULF f1, f1, f1
+            SUBF f2, f1, f1     ; inf - inf = NaN
+            HALT
+        .data 4096
+            .word 4611686018427387904
+        """
+        program = assemble(source)
+        checker = LockstepChecker(program)
+        ops = stream(program)
+        nan_ops = [op for op in ops
+                   if isinstance(op.dest_value, float)
+                   and op.dest_value != op.dest_value]
+        assert nan_ops, "program failed to produce a NaN"
+        for op in ops:
+            checker.on_commit(op, cycle=0)
+        checker.finish()
+
+
+class TestThroughPipeline:
+    """A corrupted feed must blow up a full Processor(check=True) run."""
+
+    def _run(self, mutate):
+        program = assemble(SOURCE)
+        dynamic = len(stream(program))
+        feed = TamperedFeed(program, mutate)
+        processor = Processor(feed, BASE, check=True)
+        result = processor.run(max_insts=dynamic + 8, warmup=0)
+        processor.checker.finish()
+        return result
+
+    def test_clean_feed_passes(self):
+        result = self._run(lambda op: op)
+        assert result.total_committed == len(stream(assemble(SOURCE)))
+
+    def test_value_tamper_raises_at_commit(self):
+        def mutate(op):
+            if op.seq == 3:
+                op.dest_value = 123456
+            return op
+
+        with pytest.raises(DivergenceError) as excinfo:
+            self._run(mutate)
+        assert excinfo.value.kind == "lockstep-dest-value"
+        assert excinfo.value.seq == 3
+
+    def test_dropped_op_raises(self):
+        # The hole is caught either as a commit-order invariant break or as
+        # a lockstep divergence — both are VerificationErrors.
+        with pytest.raises(VerificationError):
+            self._run(lambda op: None if op.seq == 2 else op)
+
+    def test_divergence_is_a_verification_error(self):
+        assert issubclass(DivergenceError, VerificationError)
