@@ -29,6 +29,7 @@ from pathlib import Path
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.parallel import Job, env_int, run_jobs
+from repro.analysis.singleflight import SingleFlight
 from repro.obs.registry import MetricsRegistry
 from repro.pipeline.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
 from repro.pipeline.processor import Processor, SimulationResult
@@ -84,6 +85,9 @@ class ExperimentRunner:
         #: exported.  Published on every serve (cheap — per result, not
         #: per cycle); read via ``runner.metrics.as_dict()``.
         self.metrics = MetricsRegistry()
+        #: concurrent ``result()`` calls for the same key simulate once
+        #: (threads sharing this runner, e.g. repro.serve worker threads)
+        self._flight = SingleFlight()
 
     # ------------------------------------------------------------------
     def workload(self, benchmark: str, seed: int | None = None) -> SyntheticWorkload:
@@ -106,9 +110,30 @@ class ExperimentRunner:
         shadow: bool = False,
         seed: int | None = None,
     ) -> SimulationResult:
-        """Serve one benchmark simulation: memory -> disk -> compute."""
+        """Serve one benchmark simulation: memory -> disk -> compute.
+
+        Concurrent callers (threads) that miss both cache layers for the
+        same key are collapsed into one simulation by a singleflight lock:
+        a single leader computes, the rest wait and share the result
+        (``runner.coalesced`` counts the waits).
+        """
         seed = seed if seed is not None else self.seed
         key = self._key(benchmark, config, seed, shadow)
+        found = self._results.get(key)
+        if found is not None:
+            self.metrics.counter("runner.memo_hits").inc()
+            return found
+        found, leader = self._flight.do(key, lambda: self._compute(key, benchmark, config, seed, shadow))
+        if not leader:
+            self.metrics.counter("runner.coalesced").inc()
+        return found
+
+    def _compute(
+        self, key: tuple, benchmark: str, config: MachineConfig, seed: int, shadow: bool
+    ) -> SimulationResult:
+        """Cache-or-simulate under the singleflight lock (leader only)."""
+        # Re-check the memo: a previous leader may have landed while this
+        # caller was between its own memo miss and winning the flight.
         found = self._results.get(key)
         if found is not None:
             self.metrics.counter("runner.memo_hits").inc()

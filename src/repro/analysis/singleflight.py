@@ -1,0 +1,72 @@
+"""Process-local singleflight: concurrent duplicate calls compute once.
+
+``SingleFlight.do(key, fn)`` guarantees that among concurrent callers
+passing the same *key*, exactly one (the *leader*) executes ``fn``; the
+rest block until the leader finishes and receive the same return value
+(or re-raise the leader's exception).  Calls with different keys never
+block each other, and once a flight lands the key is forgotten — a later
+call starts a fresh flight (callers keep their own memo/disk caches in
+front of this, e.g. :class:`~repro.analysis.runner.ExperimentRunner`).
+
+This closes the duplicate-work race in ``ExperimentRunner.result()``:
+two threads missing the memo and disk layers for the same fingerprint
+used to both simulate.  The serving layer's request coalescer
+(:mod:`repro.serve`) is the same idea one level up, applied to queued
+jobs instead of in-flight thread calls.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class _Flight:
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Deduplicates concurrent calls by key (thread-safe, process-local)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict[object, _Flight] = {}
+
+    def do(self, key, fn):
+        """Return ``(value, leader)`` for this flight.
+
+        ``leader`` is True for the caller that actually executed *fn*.
+        Followers observing a leader exception re-raise the same object.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leading = True
+            else:
+                leading = False
+        if not leading:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False
+        try:
+            flight.value = fn()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+        return flight.value, True
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed (diagnostics)."""
+        with self._lock:
+            return len(self._flights)

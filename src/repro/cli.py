@@ -12,11 +12,18 @@ Commands:
 * ``report`` — regression scorecard: diff a stats tree against a baseline;
 * ``fuzz`` — differential fuzzing: random programs co-simulated against
   the functional emulator with pipeline invariant checkers armed
-  (docs/VERIFICATION.md), with failure shrinking and corpus replay.
+  (docs/VERIFICATION.md), with failure shrinking and corpus replay;
+* ``serve`` — run the HTTP job server (simulation-as-a-service with
+  request coalescing and backpressure, docs/SERVING.md);
+* ``submit`` — submit runs to a serve endpoint and optionally wait;
+* ``jobs`` — list or inspect jobs on a serve endpoint.
 
 ``experiment``, ``prefetch`` and ``export-stats`` accept ``--jobs N`` to
 fan independent simulations over N worker processes (docs/PERFORMANCE.md);
 the observability pipeline is described in docs/OBSERVABILITY.md.
+
+Every failure exits nonzero with a one-line ``error: ...`` message on
+stderr — library errors never surface as tracebacks.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro
 from repro.analysis import experiments as experiment_defs
 from repro.analysis.report import render
 from repro.analysis.runner import ExperimentRunner
@@ -41,6 +49,7 @@ from repro.pipeline.config import (
     RenameModel,
     SchedulerModel,
 )
+from repro.errors import ReproError
 from repro.pipeline.pipetrace import render_pipetrace
 from repro.pipeline.processor import Processor
 from repro.workloads.feed import EmulatorFeed
@@ -224,6 +233,11 @@ def _cmd_fuzz(args) -> int:
     config_names = None if args.configs == "all" else args.configs.split(",")
     configs = config_matrix(names=config_names)
     if args.replay is not None:
+        from pathlib import Path
+
+        if not Path(args.replay).exists():
+            print(f"error: no such replay file or directory: {args.replay}", file=sys.stderr)
+            return 2
         report = replay_corpus(args.replay, configs=configs, budget=args.budget)
     else:
         if args.gen_seed is not None:
@@ -277,9 +291,117 @@ def _cmd_report(args) -> int:
     return card.exit_code
 
 
+def _run_spec_from_args(args, benchmark: str) -> dict:
+    """Wire-level run spec from submit's machine/run flags."""
+    spec = {"kind": "run", "benchmark": benchmark, "width": args.width,
+            "seed": args.seed, "insts": args.insts, "warmup": args.warmup,
+            "priority": args.priority}
+    if args.scheduler != "base":
+        spec["scheduler"] = args.scheduler
+    if args.regfile != "base":
+        spec["regfile"] = args.regfile
+    if args.half_rename:
+        spec["half_rename"] = True
+    if args.half_bypass:
+        spec["half_bypass"] = True
+    if args.no_predictor:
+        spec["predictor"] = False
+    if args.shadow:
+        spec["shadow"] = True
+    return spec
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.executor import JobExecutor
+    from repro.serve.server import ServeServer, run_server
+
+    server = ServeServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        spool=args.spool,
+        executor=JobExecutor(cache=not args.no_cache),
+    )
+
+    def announce(started: ServeServer) -> None:
+        print(f"serving on http://{started.host}:{started.port}", flush=True)
+        if started.recovered:
+            print(f"recovered {started.recovered} pending job(s) from {args.spool}", flush=True)
+
+    code = run_server(server, announce=announce)
+    pending = len(server.table.pending())
+    completed = server.registry.get("serve.completed")
+    print(
+        f"drained: {completed.value if completed else 0} job(s) completed, "
+        f"{pending} persisted for restart",
+        flush=True,
+    )
+    return code
+
+
+def _cmd_submit(args) -> int:
+    from repro.obs.export import write_stats_json
+    from repro.serve.client import JobFailed, ServeClient
+
+    benchmarks = (
+        SPEC_BENCHMARKS if args.benchmarks == ["all"] else tuple(args.benchmarks)
+    )
+    unknown = [name for name in benchmarks if name not in SPEC_BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    client = ServeClient(args.server, timeout=args.timeout)
+    specs = [_run_spec_from_args(args, benchmark) for benchmark in benchmarks]
+    receipts = client.submit(specs)
+    for receipt in receipts:
+        suffix = f" (coalesced into {receipt['coalesced_into']})" if receipt["coalesced"] else ""
+        print(f"{receipt['id']}  {receipt['status']}{suffix}")
+    if not args.wait:
+        return 0
+    failures = 0
+    for receipt in receipts:
+        try:
+            document = client.wait(receipt["id"], timeout=args.timeout)
+        except JobFailed as error:
+            print(f"{receipt['id']}  failed: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        stats = document["result"]["stats"]
+        ipc = stats["derived"]["ipc"]
+        print(f"{receipt['id']}  done  {stats['run']['benchmark']}  IPC {ipc:.4f}")
+        if args.out is not None:
+            print(f"  wrote {write_stats_json(stats, args.out)}")
+    return 1 if failures else 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.server, timeout=args.timeout)
+    if args.id is not None:
+        document = client.job(args.id)
+        document.pop("result", None)
+        for key in ("id", "kind", "status", "fingerprint", "coalesced_into", "error"):
+            print(f"{key + ':':<16}{document.get(key)}")
+        return 0
+    jobs = client.jobs(status=args.status)
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        label = job["spec"].get("benchmark") or job["kind"]
+        coalesced = f" -> {job['coalesced_into']}" if job.get("coalesced_into") else ""
+        print(f"{job['id']}  {job['status']:<9} {label}{coalesced}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Half-Price Architecture reproduction CLI"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -441,6 +563,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="tolerance for derived.ipc (default 0.005)",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the HTTP job server (docs/SERVING.md)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port (0 picks a free port, printed at startup)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent job executions (default 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=256, metavar="N",
+        help="queued-job bound before 429 backpressure (default 256)",
+    )
+    serve_parser.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="persist pending jobs here; a restart resumes them",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (always simulate)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit runs to a serve endpoint"
+    )
+    submit_parser.add_argument(
+        "benchmarks", nargs="+",
+        help="benchmark names (see 'repro list'), or 'all'",
+    )
+    submit_parser.add_argument(
+        "--server", default="http://127.0.0.1:8765", metavar="URL"
+    )
+    submit_parser.add_argument("--insts", type=int, default=15_000)
+    submit_parser.add_argument("--warmup", type=int, default=20_000)
+    submit_parser.add_argument("--seed", type=int, default=42)
+    submit_parser.add_argument("--shadow", action="store_true")
+    submit_parser.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs earlier (default 0)",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until every job finishes; exit 1 if any failed",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="per-request / per-job wait timeout (default 600)",
+    )
+    submit_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="with --wait: write each result as stats JSON under DIR",
+    )
+    _add_machine_arguments(submit_parser)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="list or inspect jobs on a serve endpoint"
+    )
+    jobs_parser.add_argument("id", nargs="?", default=None, help="job id to inspect")
+    jobs_parser.add_argument(
+        "--server", default="http://127.0.0.1:8765", metavar="URL"
+    )
+    jobs_parser.add_argument(
+        "--status", default=None,
+        help="filter the listing (queued/running/done/failed/cancelled)",
+    )
+    jobs_parser.add_argument("--timeout", type=float, default=30.0, metavar="S")
+
     return parser
 
 
@@ -456,8 +648,23 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "report": _cmd_report,
         "fuzz": _cmd_fuzz,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        return 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,219 @@
+"""Client SDK for the serving layer (stdlib-only, synchronous).
+
+:class:`ServeClient` wraps the HTTP API with the retry discipline a
+flaky network needs:
+
+* **jittered exponential backoff** on connection failures, dropped or
+  truncated responses, and 5xx errors — delay doubles per attempt with
+  a multiplicative jitter so synchronized clients fan out;
+* **backpressure compliance** — 429/503 responses sleep for the server's
+  ``Retry-After`` hint (capped) before retrying;
+* **idempotent resubmission** — a retried ``POST /v1/jobs`` whose first
+  attempt actually reached the server coalesces onto the original job by
+  cache fingerprint instead of duplicating work, so submits are safe to
+  retry blindly;
+* **streaming poll** — :meth:`wait` long-polls ``GET /v1/jobs/{id}``
+  (``?wait=``) so results arrive within one round-trip of completion
+  without hammering the server.
+
+Injectable ``sleep`` and ``rng`` keep the backoff schedule testable.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from dataclasses import dataclass
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+from repro.serve.protocol import TERMINAL_STATES
+
+
+class ServeError(ReproError):
+    """A request that failed for good (no further retries)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class JobFailed(ServeError):
+    """A job reached a terminal state other than ``done``."""
+
+
+#: Exceptions that mean "the bytes never arrived / arrived torn" —
+#: always safe to retry against this API.
+_RETRYABLE_ERRORS = (
+    ConnectionError,
+    TimeoutError,
+    http.client.HTTPException,
+    EOFError,
+    OSError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transient failures."""
+
+    retries: int = 5
+    backoff_s: float = 0.2
+    max_backoff_s: float = 5.0
+    #: cap applied to server-provided Retry-After hints
+    max_retry_after_s: float = 30.0
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Jittered exponential delay before retry *attempt* (0-based)."""
+        base = min(self.max_backoff_s, self.backoff_s * (2**attempt))
+        return base * (0.5 + rng.random() / 2)
+
+
+class ServeClient:
+    """Synchronous client for one serve endpoint."""
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8765",
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        sleep=time.sleep,
+        rng: random.Random | None = None,
+    ):
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ServeError(f"unsupported scheme {split.scheme!r} (http only)")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------
+    def _once(self, method: str, path: str, payload: dict | None):
+        """One HTTP exchange: (status, headers, parsed-JSON body)."""
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()  # raises on mid-response disconnect
+            try:
+                document = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                # A truncated body that still "read" cleanly: retryable.
+                raise http.client.HTTPException(f"undecodable response body: {error}") from None
+            return response.status, dict(response.getheaders()), document
+        finally:
+            connection.close()
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """Issue one API call with the full retry discipline."""
+        policy = self.retry
+        last_error: str = "no attempts made"
+        for attempt in range(policy.retries + 1):
+            try:
+                status, headers, document = self._once(method, path, payload)
+            except _RETRYABLE_ERRORS as error:
+                last_error = f"{type(error).__name__}: {error}"
+                if attempt >= policy.retries:
+                    break
+                self._sleep(policy.delay(attempt, self._rng))
+                continue
+            if status in (429, 503):
+                last_error = f"HTTP {status}: {document.get('error', 'overloaded')}"
+                if attempt >= policy.retries:
+                    break
+                retry_after = headers.get("Retry-After") or headers.get("retry-after")
+                try:
+                    hinted = float(retry_after) if retry_after is not None else None
+                except ValueError:
+                    hinted = None
+                if hinted is not None:
+                    self._sleep(min(hinted, policy.max_retry_after_s))
+                else:
+                    self._sleep(policy.delay(attempt, self._rng))
+                continue
+            if status >= 500:
+                last_error = f"HTTP {status}: {document.get('error', 'server error')}"
+                if attempt >= policy.retries:
+                    break
+                self._sleep(policy.delay(attempt, self._rng))
+                continue
+            if status >= 400:
+                raise ServeError(
+                    f"{method} {path} -> HTTP {status}: {document.get('error', 'request failed')}",
+                    status=status,
+                )
+            return document
+        raise ServeError(
+            f"{method} {path} failed after {policy.retries + 1} attempt(s): {last_error}"
+        )
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def submit(self, specs) -> list[dict]:
+        """Submit one spec (dict) or a list; returns per-job receipts.
+
+        Safe to retry: duplicate submissions coalesce server-side onto
+        the same fingerprint, so at-least-once delivery costs nothing.
+        """
+        if isinstance(specs, dict):
+            payload: dict = specs
+        else:
+            payload = {"jobs": list(specs)}
+        document = self.request("POST", "/v1/jobs", payload)
+        return document["jobs"]
+
+    def job(self, job_id: str, wait: float | None = None) -> dict:
+        """Fetch one job's status/result; ``wait`` long-polls server-side."""
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self.request("GET", path)
+
+    def jobs(self, status: str | None = None) -> list[dict]:
+        path = "/v1/jobs" + (f"?status={status}" if status else "")
+        return self.request("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("DELETE", f"/v1/jobs/{job_id}")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 5.0) -> dict:
+        """Block until *job_id* is terminal; returns its final document.
+
+        Raises :class:`JobFailed` on a failed/cancelled job and
+        :class:`ServeError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(f"timed out waiting for job {job_id}")
+            document = self.job(job_id, wait=min(poll, max(0.05, remaining)))
+            if document["status"] in TERMINAL_STATES:
+                if document["status"] != "done":
+                    raise JobFailed(
+                        f"job {job_id} {document['status']}: {document.get('error')}"
+                    )
+                return document
+
+    def submit_and_wait(self, specs, timeout: float = 300.0, poll: float = 5.0) -> list[dict]:
+        """Submit a batch and wait for every job; returns final documents."""
+        receipts = self.submit(specs)
+        return [self.wait(receipt["id"], timeout=timeout, poll=poll) for receipt in receipts]

@@ -1,0 +1,115 @@
+"""Job execution for the serving layer.
+
+Workers hand validated specs to one shared :class:`JobExecutor`, which
+routes them onto the existing analysis machinery:
+
+* ``run`` jobs go through :class:`~repro.analysis.runner.ExperimentRunner`
+  — one runner per (insts, warmup) pair, all sharing a single on-disk
+  :class:`~repro.analysis.cache.ResultCache` — so served results ride the
+  same memo → disk-cache → compute chain as the offline CLI, and the
+  runner's process-local singleflight keeps concurrent worker threads
+  from duplicating a simulation the serve-level coalescer missed.
+  The result payload is the **versioned stats export**
+  (:func:`repro.obs.export.build_stats_export`) — byte-identical to what
+  ``repro export-stats`` writes for the same inputs.
+* ``verify`` jobs replay an HPRISC program through the differential
+  verification stack (:func:`repro.verify.check_source`) across the
+  requested configuration matrix.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.runner import ExperimentRunner
+from repro.obs.export import build_stats_export
+from repro.serve.protocol import JobSpec, RunSpec, VerifySpec
+
+
+class JobExecutor:
+    """Executes job specs; safe to call from multiple worker threads."""
+
+    def __init__(self, cache: ResultCache | None | bool = True, jobs: int = 1):
+        if cache is True:
+            self.cache: ResultCache | None = ResultCache.from_env()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        #: worker processes each runner may use for bulk work (prefetch);
+        #: served jobs are single simulations, so the default is inline.
+        self.jobs = jobs
+        self._runners: dict[tuple[int, int], ExperimentRunner] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def runner_for(self, insts: int, warmup: int) -> ExperimentRunner:
+        """The shared runner serving one (insts, warmup) run-length pair."""
+        key = (insts, warmup)
+        with self._lock:
+            runner = self._runners.get(key)
+            if runner is None:
+                runner = ExperimentRunner(
+                    insts=insts, warmup=warmup, jobs=self.jobs, cache=self.cache
+                )
+                self._runners[key] = runner
+        return runner
+
+    def simulated(self) -> int:
+        """Total simulations actually executed (not served from a cache)."""
+        with self._lock:
+            runners = list(self._runners.values())
+        total = 0
+        for runner in runners:
+            counter = runner.metrics.get("runner.simulated")
+            total += counter.value if counter is not None else 0
+        return total
+
+    # ------------------------------------------------------------------
+    def execute(self, spec: JobSpec) -> dict:
+        """Run one spec to completion; returns the result document."""
+        if isinstance(spec, RunSpec):
+            return self._execute_run(spec)
+        if isinstance(spec, VerifySpec):
+            return self._execute_verify(spec)
+        raise TypeError(f"unknown spec type {type(spec).__name__}")  # pragma: no cover
+
+    def _execute_run(self, spec: RunSpec) -> dict:
+        runner = self.runner_for(spec.insts, spec.warmup)
+        config = spec.config()
+        result = runner.result(spec.benchmark, config, shadow=spec.shadow, seed=spec.seed)
+        document = build_stats_export(
+            result,
+            config,
+            benchmark=spec.benchmark,
+            seed=spec.seed,
+            insts=spec.insts,
+            warmup=spec.warmup,
+            shadow_sizes=spec.shadow_sizes,
+        )
+        return {"kind": "run", "stats": document}
+
+    def _execute_verify(self, spec: VerifySpec) -> dict:
+        # Deferred: the verify stack is needed only by verify jobs.
+        from repro.verify import check_source, config_matrix
+
+        configs = config_matrix(names=list(spec.configs) if spec.configs else None)
+        failures = []
+        for config in configs:
+            failure = check_source(spec.source, config, budget=spec.budget)
+            if failure is not None:
+                failures.append(
+                    {
+                        "kind": failure.kind,
+                        "config": failure.config_name,
+                        "message": failure.message,
+                    }
+                )
+        return {
+            "kind": "verify",
+            "ok": not failures,
+            "checked": len(configs),
+            "configs": [config.name for config in configs],
+            "failures": failures,
+        }

@@ -1,0 +1,279 @@
+"""Wire protocol of the serving layer: job specs, validation, fingerprints.
+
+Everything that crosses the HTTP boundary is validated here, *before* it
+touches the queue or a worker.  Two job kinds exist:
+
+* ``run`` — one benchmark simulation, described by the same knobs the CLI
+  exposes (benchmark, machine-technique flags, seed, run lengths).  The
+  spec is validated against :mod:`repro.pipeline.config` (unknown enum
+  values, non-positive lengths and unknown benchmarks are rejected with a
+  400 before enqueue) and carries the **same cache fingerprint** as
+  :mod:`repro.analysis.cache` — which is what the server's singleflight
+  coalescer and the client's idempotent resubmission key on.
+* ``verify`` — one differential-verification replay: an HPRISC program
+  co-simulated against the functional emulator under a configuration
+  matrix (:mod:`repro.verify`), so the fuzzing corpus can be replayed
+  over the wire.
+
+Specs are frozen dataclasses; ``as_wire()`` round-trips through
+``parse_spec()`` losslessly, which the queue-persistence journal relies
+on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.analysis.cache import fingerprint as cache_fingerprint
+from repro.analysis.runner import SHADOW_SIZES
+from repro.errors import ReproError
+from repro.pipeline.config import (
+    EIGHT_WIDE,
+    FOUR_WIDE,
+    BypassModel,
+    MachineConfig,
+    RegFileModel,
+    RenameModel,
+    SchedulerModel,
+)
+from repro.pipeline.processor import TIMING_MODEL_VERSION
+from repro.workloads.profiles import SPEC_BENCHMARKS
+
+#: Bump when the request/response shapes change incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Job lifecycle states, as serialized on the wire.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class ProtocolError(ReproError):
+    """A malformed or invalid request (maps to HTTP 400)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def _get_int(payload: dict, key: str, default: int, minimum: int = 1) -> int:
+    value = payload.get(key, default)
+    _require(isinstance(value, int) and not isinstance(value, bool), f"{key} must be an integer")
+    _require(value >= minimum, f"{key} must be >= {minimum}")
+    return value
+
+
+def _get_bool(payload: dict, key: str, default: bool) -> bool:
+    value = payload.get(key, default)
+    _require(isinstance(value, bool), f"{key} must be a boolean")
+    return value
+
+
+def _enum_value(payload: dict, key: str, enum_cls, default) -> str:
+    value = payload.get(key, default)
+    try:
+        return enum_cls(value).value
+    except ValueError:
+        known = ", ".join(member.value for member in enum_cls)
+        raise ProtocolError(f"unknown {key} {value!r} (known: {known})") from None
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One benchmark simulation request (job kind ``run``)."""
+
+    benchmark: str
+    width: int = 4
+    scheduler: str = SchedulerModel.BASE.value
+    regfile: str = RegFileModel.BASE.value
+    half_rename: bool = False
+    half_bypass: bool = False
+    predictor: bool = True
+    seed: int = 42
+    insts: int = 15_000
+    warmup: int = 20_000
+    shadow: bool = False
+    priority: int = 0
+
+    kind = "run"
+
+    def config(self) -> MachineConfig:
+        """Build the machine this spec describes (CLI flag semantics)."""
+        config = FOUR_WIDE if self.width == 4 else EIGHT_WIDE
+        techniques: dict = {}
+        if self.scheduler != SchedulerModel.BASE.value:
+            techniques["scheduler"] = SchedulerModel(self.scheduler)
+        if self.regfile != RegFileModel.BASE.value:
+            techniques["regfile"] = RegFileModel(self.regfile)
+        if self.half_rename:
+            techniques["rename"] = RenameModel.HALF_PORTS
+        if self.half_bypass:
+            techniques["bypass"] = BypassModel.HALF
+        if not self.predictor:
+            techniques["predictor_entries"] = None
+        if techniques:
+            config = config.with_techniques(**techniques)
+        return config
+
+    @property
+    def shadow_sizes(self) -> tuple[int, ...] | None:
+        return SHADOW_SIZES if self.shadow else None
+
+    def fingerprint(self) -> str:
+        """The result-cache digest — the coalescing/idempotency key."""
+        return cache_fingerprint(
+            self.benchmark, self.seed, self.insts, self.warmup, self.config(), self.shadow_sizes
+        )
+
+    def as_wire(self) -> dict:
+        document = dataclasses.asdict(self)
+        document["kind"] = self.kind
+        return document
+
+
+@dataclass(frozen=True)
+class VerifySpec:
+    """One differential-verification replay request (job kind ``verify``)."""
+
+    source: str
+    #: config-matrix filter names (:func:`repro.verify.config_matrix`);
+    #: None replays the full 8-machine matrix
+    configs: tuple[str, ...] | None = None
+    budget: int = 50_000
+    priority: int = 0
+
+    kind = "verify"
+
+    def fingerprint(self) -> str:
+        identity = {
+            "kind": self.kind,
+            "model_version": TIMING_MODEL_VERSION,
+            "source": self.source,
+            "configs": list(self.configs) if self.configs else None,
+            "budget": self.budget,
+        }
+        payload = json.dumps(identity, sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def as_wire(self) -> dict:
+        return {
+            "kind": self.kind,
+            "source": self.source,
+            "configs": list(self.configs) if self.configs else None,
+            "budget": self.budget,
+            "priority": self.priority,
+        }
+
+
+JobSpec = RunSpec | VerifySpec
+
+_RUN_KEYS = frozenset(
+    (
+        "kind",
+        "benchmark",
+        "width",
+        "scheduler",
+        "regfile",
+        "half_rename",
+        "half_bypass",
+        "predictor",
+        "seed",
+        "insts",
+        "warmup",
+        "shadow",
+        "priority",
+    )
+)
+_VERIFY_KEYS = frozenset(("kind", "source", "configs", "budget", "priority"))
+
+
+def _parse_run(payload: dict) -> RunSpec:
+    benchmark = payload.get("benchmark")
+    _require(isinstance(benchmark, str) and bool(benchmark), "benchmark is required")
+    _require(
+        benchmark in SPEC_BENCHMARKS,
+        f"unknown benchmark {benchmark!r} (known: {', '.join(SPEC_BENCHMARKS)})",
+    )
+    width = payload.get("width", 4)
+    _require(width in (4, 8), "width must be 4 or 8")
+    spec = RunSpec(
+        benchmark=benchmark,
+        width=width,
+        scheduler=_enum_value(payload, "scheduler", SchedulerModel, SchedulerModel.BASE.value),
+        regfile=_enum_value(payload, "regfile", RegFileModel, RegFileModel.BASE.value),
+        half_rename=_get_bool(payload, "half_rename", False),
+        half_bypass=_get_bool(payload, "half_bypass", False),
+        predictor=_get_bool(payload, "predictor", True),
+        seed=_get_int(payload, "seed", 42, minimum=0),
+        insts=_get_int(payload, "insts", 15_000),
+        warmup=_get_int(payload, "warmup", 20_000, minimum=0),
+        shadow=_get_bool(payload, "shadow", False),
+        priority=_get_int(payload, "priority", 0, minimum=-(10**6)),
+    )
+    spec.config()  # surface ConfigurationError-shaped problems as 400s
+    return spec
+
+
+def _parse_verify(payload: dict) -> VerifySpec:
+    source = payload.get("source")
+    _require(isinstance(source, str) and bool(source.strip()), "source is required")
+    configs = payload.get("configs")
+    if configs is not None:
+        _require(
+            isinstance(configs, (list, tuple))
+            and all(isinstance(name, str) for name in configs)
+            and bool(configs),
+            "configs must be a non-empty list of names",
+        )
+        # Validate the filter now (unknown names raise ConfigurationError).
+        from repro.verify import config_matrix
+
+        try:
+            config_matrix(names=list(configs))
+        except ReproError as error:
+            raise ProtocolError(str(error)) from None
+        configs = tuple(configs)
+    return VerifySpec(
+        source=source,
+        configs=configs,
+        budget=_get_int(payload, "budget", 50_000),
+        priority=_get_int(payload, "priority", 0, minimum=-(10**6)),
+    )
+
+
+def parse_spec(payload: object) -> JobSpec:
+    """Validate one wire-level job spec; raises :class:`ProtocolError`."""
+    _require(isinstance(payload, dict), "job spec must be a JSON object")
+    assert isinstance(payload, dict)
+    kind = payload.get("kind", "run")
+    if kind == "run":
+        unknown = set(payload) - _RUN_KEYS
+        _require(not unknown, f"unknown run-spec field(s): {', '.join(sorted(unknown))}")
+        return _parse_run(payload)
+    if kind == "verify":
+        unknown = set(payload) - _VERIFY_KEYS
+        _require(not unknown, f"unknown verify-spec field(s): {', '.join(sorted(unknown))}")
+        return _parse_verify(payload)
+    raise ProtocolError(f"unknown job kind {kind!r} (known: run, verify)")
+
+
+def parse_batch(payload: object) -> list[JobSpec]:
+    """Parse a ``POST /v1/jobs`` body: a single spec or ``{"jobs": [...]}``."""
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    assert isinstance(payload, dict)
+    if "jobs" in payload:
+        jobs = payload["jobs"]
+        _require(isinstance(jobs, list) and bool(jobs), "jobs must be a non-empty list")
+        extra = set(payload) - {"jobs"}
+        _require(not extra, f"unknown batch field(s): {', '.join(sorted(extra))}")
+        return [parse_spec(entry) for entry in jobs]
+    return [parse_spec(payload)]

@@ -1,0 +1,545 @@
+"""Asyncio HTTP job server: simulation-as-a-service.
+
+Stdlib-only (``asyncio.start_server`` plus a minimal HTTP/1.1 framing
+layer).  The endpoint surface (see docs/SERVING.md for the full API
+reference):
+
+* ``POST /v1/jobs``      — submit one spec or ``{"jobs": [...]}``; 202
+  with per-job ids, or 429 + ``Retry-After`` when the queue is full;
+* ``GET /v1/jobs``       — list jobs (``?status=`` filter);
+* ``GET /v1/jobs/{id}``  — status/result; ``?wait=SECONDS`` long-polls;
+* ``DELETE /v1/jobs/{id}`` — cancel a job that has not started;
+* ``GET /metrics``       — the server's MetricsRegistry plus derived
+  queue depth and p50/p90/p99 job latency;
+* ``GET /healthz``       — liveness.
+
+Concurrency model: one asyncio task per connection, a bounded priority
+queue of *primary* jobs, and N worker tasks that run simulations in
+threads (``asyncio.to_thread``) through the shared
+:class:`~repro.serve.executor.JobExecutor`.  Submissions whose
+fingerprint matches an active job coalesce onto it (singleflight) and
+never occupy queue capacity.  ``SIGTERM``/``SIGINT`` trigger a graceful
+drain: in-flight jobs finish, queued jobs are persisted to the spool
+journal, and a restarted server resumes them with their original ids.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.executor import JobExecutor
+from repro.serve.jobs import Job, JobTable, SpoolJournal
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    QUEUED,
+    ProtocolError,
+    parse_batch,
+)
+
+#: Default bind and capacity knobs (overridable per server).
+DEFAULT_PORT = 8765
+DEFAULT_WORKERS = 2
+DEFAULT_QUEUE_SIZE = 256
+
+#: Long-poll waits are capped so a drain is never held hostage.
+MAX_LONGPOLL_S = 30.0
+_LONGPOLL_SLICE_S = 0.25
+
+_JSON_HEADERS = "Content-Type: application/json\r\n"
+
+#: Queue entries: (lane, -priority, sequence, job).  The shutdown
+#: sentinel rides lane -1, ahead of every real job, so draining workers
+#: stop immediately and queued work persists instead of executing.
+_SENTINEL = (-1, 0, -1, None)
+
+
+class _HttpError(Exception):
+    """Internal: mapped to an HTTP error response."""
+
+    def __init__(self, status: int, message: str, headers: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _encode_response(status: int, payload: dict, extra_headers: dict | None = None) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n",
+        _JSON_HEADERS,
+        f"Content-Length: {len(body)}\r\n",
+        "Connection: close\r\n",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}\r\n")
+    lines.append("\r\n")
+    return "".join(lines).encode("latin-1") + body
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request: (method, path, query, body-bytes)."""
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise _HttpError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _HttpError(400, "bad Content-Length") from None
+    if length < 0 or length > 64 * 1024 * 1024:
+        raise _HttpError(400, "unreasonable Content-Length")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    query = {key: values[-1] for key, values in parse_qs(split.query).items()}
+    return method.upper(), split.path.rstrip("/") or "/", query, body
+
+
+class ServeServer:
+    """The job server: HTTP frontend, coalescing queue, worker pool."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = DEFAULT_WORKERS,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        spool: Path | str | None = None,
+        executor: JobExecutor | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_size = queue_size
+        self.executor = executor if executor is not None else JobExecutor()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.table = JobTable()
+        self.journal = SpoolJournal(spool) if spool is not None else None
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._queued_primaries = 0
+        self._sequence = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._server: asyncio.base_events.Server | None = None
+        self._worker_tasks: list[asyncio.Task] = []
+        self._started_at = time.time()
+        self.recovered = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Recover the spool, bind the socket, start the worker pool."""
+        self._recover()
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        for index in range(self.workers):
+            self._worker_tasks.append(asyncio.create_task(self._worker(), name=f"worker-{index}"))
+
+    def _recover(self) -> None:
+        if self.journal is None:
+            return
+        for job_id, spec in self.journal.recover():
+            job, coalesced = self.table.submit(spec, job_id=job_id)
+            if not coalesced:
+                self._enqueue(job)
+            self.recovered += 1
+        # Honour the journal's id watermark so ids of jobs that completed
+        # before the previous shutdown are never reissued.
+        self.table.reserve_next_id(self.journal.next_id)
+        if self.recovered:
+            self.registry.counter("serve.recovered").inc(self.recovered)
+        # Drop stale done-markers (and any torn tail) from the journal.
+        self.journal.compact(self.table.pending(), next_id=self.table.next_id)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight work, persist the queue."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        # Sentinels outrank every job, so blocked workers stop now and no
+        # queued job starts; in-flight executions run to completion.
+        for _ in self._worker_tasks:
+            self._queue.put_nowait(_SENTINEL)
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        if self.journal is not None:
+            self.journal.compact(self.table.pending(), next_id=self.table.next_id)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._drained.set()
+
+    async def abort(self) -> None:
+        """Hard stop (simulated crash): no drain, no journal compaction."""
+        self._draining = True
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._drained.set()
+
+    async def run_until_signalled(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain (CLI entry point)."""
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # queue + workers
+    # ------------------------------------------------------------------
+    def _enqueue(self, job: Job) -> None:
+        self._sequence += 1
+        self._queue.put_nowait((0, -job.spec.priority, self._sequence, job))
+        self._queued_primaries += 1
+
+    def queue_depth(self) -> int:
+        """Primaries accepted but not yet started."""
+        return self._queued_primaries
+
+    def _retry_after(self) -> int:
+        """Backpressure hint: expected seconds until queue space frees."""
+        timer = self.registry.get("serve.exec_seconds")
+        mean = 1.0
+        if timer is not None and timer.calls:
+            mean = max(0.05, timer.seconds / timer.calls)
+        workers = max(1, self.workers)
+        estimate = self._queued_primaries * mean / workers
+        return max(1, min(60, int(estimate + 0.999)))
+
+    async def _worker(self) -> None:
+        while True:
+            lane, _priority, _sequence, job = await self._queue.get()
+            if lane < 0:  # shutdown sentinel
+                return
+            self._queued_primaries -= 1
+            if job.terminal:  # cancelled while queued
+                continue
+            await self._execute(job)
+
+    async def _execute(self, job: Job) -> None:
+        self.table.mark_running(job)
+        started = time.perf_counter()
+        try:
+            result = await asyncio.to_thread(self.executor.execute, job.spec)
+            settled = self.table.finish(job, result=result)
+            self.registry.counter("serve.completed").inc(len(settled))
+        except Exception as error:  # noqa: BLE001 - jobs must never kill a worker
+            settled = self.table.finish(job, error=f"{type(error).__name__}: {error}")
+            self.registry.counter("serve.failed").inc(len(settled))
+        elapsed = time.perf_counter() - started
+        self.registry.timer("serve.exec_seconds").add(elapsed)
+        for done_job in settled:
+            latency_ms = int((done_job.finished_at - done_job.submitted_at) * 1000)
+            self.registry.histogram("serve.job_latency_ms").observe(latency_ms)
+            if self.journal is not None:
+                self.journal.record_done(done_job)
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                method, path, query, body = request
+                self.registry.counter("serve.http_requests").inc()
+                response = await self._route(method, path, query, body)
+            except _HttpError as error:
+                response = _encode_response(
+                    error.status, {"error": str(error)}, error.headers
+                )
+            except ProtocolError as error:
+                response = _encode_response(400, {"error": str(error)})
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as error:  # noqa: BLE001 - never kill the acceptor
+                self.registry.counter("serve.http_errors").inc()
+                response = _encode_response(
+                    500, {"error": f"{type(error).__name__}: {error}"}
+                )
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, method: str, path: str, query: dict, body: bytes) -> bytes:
+        if path == "/healthz" and method == "GET":
+            return _encode_response(200, {"ok": True, "draining": self._draining})
+        if path == "/metrics" and method == "GET":
+            return _encode_response(200, self._metrics_document())
+        if path == "/v1/jobs":
+            if method == "POST":
+                return self._post_jobs(body)
+            if method == "GET":
+                return self._list_jobs(query)
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            if method == "GET":
+                return await self._get_job(job_id, query)
+            if method == "DELETE":
+                return self._cancel_job(job_id)
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _post_jobs(self, body: bytes) -> bytes:
+        if self._draining:
+            raise _HttpError(503, "server is draining", {"Retry-After": "5"})
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"request body is not valid JSON: {error}") from None
+        specs = parse_batch(payload)
+        # Atomic admission: count how many specs are *new work* and check
+        # capacity before accepting anything, so a rejected batch leaves
+        # no partial state for the client's retry to collide with.
+        new_fingerprints: set[str] = set()
+        new_work = 0
+        for spec in specs:
+            digest = spec.fingerprint()
+            if digest in new_fingerprints or self.table.active_primary(digest) is not None:
+                continue
+            new_fingerprints.add(digest)
+            new_work += 1
+        if self._queued_primaries + new_work > self.queue_size:
+            self.registry.counter("serve.rejected_429").inc()
+            raise _HttpError(
+                429,
+                f"queue full ({self._queued_primaries}/{self.queue_size} queued)",
+                {"Retry-After": str(self._retry_after())},
+            )
+        accepted = []
+        for spec in specs:
+            job, coalesced = self.table.submit(spec)
+            if self.journal is not None:
+                self.journal.record_submit(job)
+            if coalesced:
+                self.registry.counter("serve.coalesce_hits").inc()
+            else:
+                self._enqueue(job)
+            self.registry.counter("serve.submitted").inc()
+            accepted.append(
+                {
+                    "id": job.id,
+                    "status": job.status,
+                    "fingerprint": job.fingerprint,
+                    "coalesced": coalesced,
+                    "coalesced_into": job.coalesced_into,
+                }
+            )
+        return _encode_response(202, {"protocol_version": PROTOCOL_VERSION, "jobs": accepted})
+
+    def _list_jobs(self, query: dict) -> bytes:
+        status = query.get("status")
+        jobs = [
+            job.public(include_result=False)
+            for job in sorted(self.table.jobs.values(), key=lambda j: j.id)
+            if status is None or job.status == status
+        ]
+        return _encode_response(200, {"jobs": jobs})
+
+    async def _get_job(self, job_id: str, query: dict) -> bytes:
+        job = self.table.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"no such job {job_id!r}")
+        wait = 0.0
+        if "wait" in query:
+            try:
+                wait = min(MAX_LONGPOLL_S, max(0.0, float(query["wait"])))
+            except ValueError:
+                raise _HttpError(400, "wait must be a number of seconds") from None
+        deadline = time.monotonic() + wait
+        while not job.terminal and time.monotonic() < deadline and not self._draining:
+            remaining = deadline - time.monotonic()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    job.done_event.wait(), timeout=min(_LONGPOLL_SLICE_S, remaining)
+                )
+        return _encode_response(200, job.public())
+
+    def _cancel_job(self, job_id: str) -> bytes:
+        job = self.table.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"no such job {job_id!r}")
+        if job.terminal:
+            return _encode_response(200, job.public(include_result=False))
+        if job.status != QUEUED:
+            raise _HttpError(409, f"job {job_id} is {job.status}; only queued jobs cancel")
+        settled = self.table.cancel(job)
+        self.registry.counter("serve.cancelled").inc(len(settled))
+        if self.journal is not None:
+            for cancelled in settled:
+                self.journal.record_done(cancelled)
+        return _encode_response(200, job.public(include_result=False))
+
+    # ------------------------------------------------------------------
+    def _metrics_document(self) -> dict:
+        histogram = self.registry.get("serve.job_latency_ms")
+        quantiles = {"p50": None, "p90": None, "p99": None}
+        if histogram is not None and histogram.total:
+            points = sorted(histogram.buckets.items())
+            total = histogram.total
+            for label, fraction in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+                threshold = fraction * total
+                seen = 0
+                for bucket, count in points:
+                    seen += count
+                    if seen >= threshold:
+                        quantiles[label] = bucket
+                        break
+        self.registry.counter("serve.queue_depth").set(self._queued_primaries)
+        self.registry.counter("serve.simulated").set(self.executor.simulated())
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "serve": {
+                "draining": self._draining,
+                "queue_depth": self._queued_primaries,
+                "queue_size": self.queue_size,
+                "workers": self.workers,
+                "jobs_total": len(self.table.jobs),
+                "uptime_s": round(time.time() - self._started_at, 3),
+                "latency_ms": quantiles,
+            },
+            "metrics": self.registry.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Embedding helpers
+# ----------------------------------------------------------------------
+async def _serve_main(server: ServeServer, announce=None) -> None:
+    await server.start()
+    if announce is not None:
+        announce(server)
+    await server.run_until_signalled()
+
+
+def run_server(server: ServeServer, announce=None) -> int:
+    """Blocking entry point used by ``repro serve``; returns exit code."""
+    asyncio.run(_serve_main(server, announce))
+    return 0
+
+
+class BackgroundServer:
+    """A ServeServer on its own thread + event loop (tests, fixtures).
+
+    ``start()`` blocks until the socket is bound and exposes ``port``;
+    ``stop(graceful=True)`` drains (persisting the queue), while
+    ``stop(graceful=False)`` aborts without compaction — a simulated
+    crash for persistence tests.
+    """
+
+    def __init__(self, **server_kwargs):
+        self._kwargs = server_kwargs
+        self.server: ServeServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stop_requested: asyncio.Event | None = None
+        self._graceful = True
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    @property
+    def base_url(self) -> str:
+        assert self.server is not None
+        return f"http://{self.server.host}:{self.server.port}"
+
+    async def _main(self) -> None:
+        self._stop_requested = asyncio.Event()
+        self.server = ServeServer(**self._kwargs)
+        try:
+            await self.server.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self._stop_requested.wait()
+        if self._graceful:
+            await self.server.drain()
+        else:
+            await self.server.abort()
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._main())
+        except BaseException:
+            self._ready.set()
+        finally:
+            self._loop.close()
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(target=self._run, name="serve-bg", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.server is None or self._loop is None:
+            raise RuntimeError("background server failed to start")
+        return self
+
+    def stop(self, graceful: bool = True) -> None:
+        if self._loop is None or self._thread is None or self._stop_requested is None:
+            return
+        self._graceful = graceful
+        self._loop.call_soon_threadsafe(self._stop_requested.set)
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(graceful=True)

@@ -1,0 +1,132 @@
+"""Singleflight deduplication, alone and wired into ExperimentRunner."""
+
+import threading
+
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.singleflight import SingleFlight
+from repro.pipeline.config import FOUR_WIDE
+
+
+class TestSingleFlight:
+    def test_sequential_calls_each_lead(self):
+        flight = SingleFlight()
+        calls = []
+        assert flight.do("k", lambda: calls.append(1) or "a") == ("a", True)
+        assert flight.do("k", lambda: calls.append(1) or "b") == ("b", True)
+        assert len(calls) == 2  # key forgotten once a flight lands
+        assert flight.in_flight() == 0
+
+    def test_concurrent_same_key_computes_once(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        executions = []
+        results = []
+
+        def compute():
+            gate.wait(timeout=10)
+            executions.append(threading.get_ident())
+            return 42
+
+        def call():
+            results.append(flight.do("key", compute))
+
+        threads = [threading.Thread(target=call) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        while flight.in_flight() == 0:
+            pass  # wait for a leader to register
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+
+        assert len(executions) == 1  # exactly one leader ran fn
+        assert [value for value, _leader in results] == [42] * 8
+        assert sum(leader for _value, leader in results) == 1
+
+    def test_different_keys_do_not_serialize(self):
+        flight = SingleFlight()
+        barrier = threading.Barrier(3, timeout=10)
+        results = []
+
+        def call(key):
+            # All three must be in-flight simultaneously to pass the
+            # barrier; serialization would deadlock (barrier timeout).
+            value, leader = flight.do(key, lambda: (barrier.wait(), key)[1])
+            results.append((value, leader))
+
+        threads = [threading.Thread(target=call, args=(k,)) for k in ("a", "b", "c")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sorted(value for value, _ in results) == ["a", "b", "c"]
+        assert all(leader for _value, leader in results)
+
+    def test_followers_reraise_leader_exception(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        boom = RuntimeError("boom")
+        errors = []
+
+        def fail():
+            gate.wait(timeout=10)
+            raise boom
+
+        def call():
+            try:
+                flight.do("key", fail)
+            except RuntimeError as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        while flight.in_flight() == 0:
+            pass
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(errors) == 4
+        assert all(error is boom for error in errors)
+        # A failed flight is forgotten: the next call retries fresh.
+        assert flight.do("key", lambda: "recovered") == ("recovered", True)
+
+
+class TestRunnerCoalescing:
+    def test_concurrent_result_calls_simulate_once(self):
+        runner = ExperimentRunner(insts=80, warmup=40, cache=False)
+        start = threading.Barrier(6, timeout=30)
+        results = []
+        errors = []
+
+        def call():
+            try:
+                start.wait()
+                results.append(runner.result("gzip", FOUR_WIDE, seed=3))
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=call) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        assert not errors
+        assert len(results) == 6
+        first = results[0]
+        assert all(result is first for result in results)  # shared object
+        assert runner.metrics.get("runner.simulated").value == 1
+        coalesced = runner.metrics.get("runner.coalesced")
+        memo_hits = runner.metrics.get("runner.memo_hits")
+        followers = (coalesced.value if coalesced else 0) + (
+            memo_hits.value if memo_hits else 0
+        )
+        assert followers == 5  # every other caller rode the leader or memo
+
+    def test_distinct_seeds_still_simulate_separately(self):
+        runner = ExperimentRunner(insts=80, warmup=40, cache=False)
+        first = runner.result("gzip", FOUR_WIDE, seed=1)
+        second = runner.result("gzip", FOUR_WIDE, seed=2)
+        assert first is not second
+        assert runner.metrics.get("runner.simulated").value == 2

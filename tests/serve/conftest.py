@@ -1,0 +1,40 @@
+"""Shared fixtures for the serving-layer tests.
+
+Every server gets its own spool directory and its own empty on-disk
+result cache, so tests never read or pollute the repository's
+``results/cache/`` and coalescing/simulation counts are exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.serve.executor import JobExecutor
+from repro.serve.server import BackgroundServer
+
+#: Run lengths small enough that one simulation takes ~10 ms.
+TINY = {"insts": 200, "warmup": 100}
+
+
+def tiny_run(benchmark: str = "gzip", **overrides) -> dict:
+    """A wire-level run spec with tiny run lengths."""
+    spec = {"kind": "run", "benchmark": benchmark, "seed": 7, **TINY}
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def fresh_executor(tmp_path):
+    """A JobExecutor over an empty, test-private disk cache."""
+    return JobExecutor(cache=ResultCache(tmp_path / "cache"))
+
+
+@pytest.fixture
+def server(tmp_path, fresh_executor):
+    """A running background server with spool + private cache."""
+    background = BackgroundServer(
+        port=0, workers=2, spool=tmp_path / "spool", executor=fresh_executor
+    )
+    with background:
+        yield background

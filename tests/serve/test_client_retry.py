@@ -1,0 +1,183 @@
+"""Client retry/backoff discipline against a scripted flaky server.
+
+The fixture is a raw socket server that plays one scripted behaviour per
+connection — drop, 429-with-Retry-After, mid-response disconnect — then
+finally answers properly, so every retry path in the SDK is exercised
+against real sockets rather than mocks.
+"""
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.serve.client import RetryPolicy, ServeClient, ServeError
+
+OK_BODY = json.dumps(
+    {"jobs": [{"id": "j-000001", "status": "queued", "coalesced": False,
+               "coalesced_into": None, "fingerprint": "f" * 64}]}
+).encode()
+
+
+def _read_request(conn: socket.socket) -> bytes:
+    conn.settimeout(5)
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = conn.recv(65536)
+        if not chunk:
+            return data
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    while len(rest) < length:
+        chunk = conn.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    return data
+
+
+class FlakyServer:
+    """Plays one scripted behaviour per accepted connection."""
+
+    def __init__(self, behaviors: list[str]):
+        self.behaviors = behaviors
+        self.connections = 0
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def __enter__(self) -> "FlakyServer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+    def _serve(self) -> None:
+        while self.connections < len(self.behaviors):
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            behavior = self.behaviors[self.connections]
+            self.connections += 1
+            try:
+                self._play(conn, behavior)
+            finally:
+                conn.close()
+
+    def _play(self, conn: socket.socket, behavior: str) -> None:
+        if behavior == "drop":
+            return  # close without reading: connection reset mid-request
+        _read_request(conn)
+        if behavior == "429":
+            body = b'{"error": "queue full"}\n'
+            conn.sendall(
+                b"HTTP/1.1 429 Too Many Requests\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Retry-After: 0.05\r\n"
+                + f"Content-Length: {len(body)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + body
+            )
+        elif behavior == "truncate":
+            # Claim a long body, send a fragment, disconnect mid-response.
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 5000\r\n"
+                b"Connection: close\r\n\r\n"
+                b'{"jobs": [{"id"'
+            )
+        elif behavior == "ok":
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(OK_BODY)}\r\n".encode()
+                + b"Connection: close\r\n\r\n" + OK_BODY
+            )
+        else:  # pragma: no cover - fixture bug
+            raise AssertionError(f"unknown behavior {behavior}")
+
+
+def _client(port: int, sleeps: list, retries: int = 5) -> ServeClient:
+    return ServeClient(
+        f"http://127.0.0.1:{port}",
+        timeout=5,
+        retry=RetryPolicy(retries=retries, backoff_s=0.01, max_backoff_s=0.08),
+        sleep=sleeps.append,
+        rng=random.Random(1234),
+    )
+
+
+class TestRetries:
+    def test_survives_drop_429_and_truncation(self):
+        sleeps: list = []
+        with FlakyServer(["drop", "429", "truncate", "ok"]) as flaky:
+            client = _client(flaky.port, sleeps)
+            receipts = client.submit({"benchmark": "gzip"})
+            assert receipts[0]["id"] == "j-000001"
+            assert flaky.connections == 4
+        assert len(sleeps) == 3  # one sleep per failed attempt
+        # The 429 retry honoured the server's Retry-After hint exactly.
+        assert sleeps[1] == pytest.approx(0.05)
+
+    def test_backoff_grows_exponentially_with_jitter(self):
+        policy = RetryPolicy(retries=6, backoff_s=0.1, max_backoff_s=10.0)
+        rng = random.Random(7)
+        delays = [policy.delay(attempt, rng) for attempt in range(5)]
+        for attempt, delay in enumerate(delays):
+            base = 0.1 * (2**attempt)
+            assert base * 0.5 <= delay <= base  # jitter stays in [0.5, 1.0]x
+        assert delays[4] > delays[0]
+
+    def test_gives_up_after_retry_budget(self):
+        sleeps: list = []
+        with FlakyServer(["drop"] * 3) as flaky:
+            client = _client(flaky.port, sleeps, retries=2)
+            with pytest.raises(ServeError, match="failed after 3 attempt"):
+                client.submit({"benchmark": "gzip"})
+            assert flaky.connections == 3
+        assert len(sleeps) == 2
+
+    def test_4xx_is_not_retried(self):
+        sleeps: list = []
+        body = b'{"error": "unknown benchmark"}\n'
+        response = (
+            b"HTTP/1.1 400 Bad Request\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n".encode()
+            + b"Connection: close\r\n\r\n" + body
+        )
+
+        class Bad400(FlakyServer):
+            def _play(self, conn, behavior):
+                _read_request(conn)
+                conn.sendall(response)
+
+        with Bad400(["400"]) as flaky:
+            client = _client(flaky.port, sleeps)
+            with pytest.raises(ServeError, match="unknown benchmark"):
+                client.submit({"benchmark": "doom"})
+            assert flaky.connections == 1
+        assert sleeps == []
+
+    def test_connection_refused_retries_then_fails(self):
+        sleeps: list = []
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here
+        client = _client(port, sleeps, retries=2)
+        with pytest.raises(ServeError, match="failed after 3 attempt"):
+            client.healthz()
+        assert len(sleeps) == 2

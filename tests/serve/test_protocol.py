@@ -1,0 +1,120 @@
+"""Wire-protocol validation and fingerprint semantics."""
+
+import pytest
+
+from repro.analysis.cache import fingerprint as cache_fingerprint
+from repro.analysis.runner import SHADOW_SIZES
+from repro.pipeline.config import FOUR_WIDE, SchedulerModel
+from repro.serve.protocol import (
+    ProtocolError,
+    RunSpec,
+    VerifySpec,
+    parse_batch,
+    parse_spec,
+)
+
+
+class TestRunSpecParsing:
+    def test_minimal_spec_defaults(self):
+        spec = parse_spec({"benchmark": "gzip"})
+        assert isinstance(spec, RunSpec)
+        assert spec.insts == 15_000 and spec.width == 4 and spec.kind == "run"
+
+    def test_wire_round_trip(self):
+        spec = parse_spec(
+            {"benchmark": "gcc", "scheduler": "seq_wakeup", "insts": 500,
+             "warmup": 250, "seed": 3, "shadow": True, "priority": 2}
+        )
+        assert parse_spec(spec.as_wire()) == spec
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown benchmark"):
+            parse_spec({"benchmark": "doom"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown run-spec field"):
+            parse_spec({"benchmark": "gzip", "instz": 100})
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown scheduler"):
+            parse_spec({"benchmark": "gzip", "scheduler": "warp"})
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ProtocolError, match="width"):
+            parse_spec({"benchmark": "gzip", "width": 6})
+
+    def test_nonpositive_insts_rejected(self):
+        with pytest.raises(ProtocolError, match="insts"):
+            parse_spec({"benchmark": "gzip", "insts": 0})
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ProtocolError, match="seed"):
+            parse_spec({"benchmark": "gzip", "seed": "five"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown job kind"):
+            parse_spec({"kind": "train", "benchmark": "gzip"})
+
+
+class TestFingerprints:
+    def test_matches_result_cache_digest(self):
+        spec = parse_spec(
+            {"benchmark": "gzip", "scheduler": "seq_wakeup", "insts": 400,
+             "warmup": 200, "seed": 9}
+        )
+        config = FOUR_WIDE.with_techniques(scheduler=SchedulerModel.SEQ_WAKEUP)
+        assert spec.fingerprint() == cache_fingerprint("gzip", 9, 400, 200, config, None)
+
+    def test_shadow_changes_fingerprint(self):
+        base = parse_spec({"benchmark": "gzip"})
+        shadowed = parse_spec({"benchmark": "gzip", "shadow": True})
+        assert base.fingerprint() != shadowed.fingerprint()
+        config = base.config()
+        assert shadowed.fingerprint() == cache_fingerprint(
+            "gzip", 42, 15_000, 20_000, config, SHADOW_SIZES
+        )
+
+    def test_priority_does_not_change_fingerprint(self):
+        low = parse_spec({"benchmark": "gzip", "priority": 0})
+        high = parse_spec({"benchmark": "gzip", "priority": 9})
+        assert low.fingerprint() == high.fingerprint()
+
+
+class TestVerifySpec:
+    SOURCE = "    LDI  r1, 5\n    ADD  r2, r1, #1\n    HALT\n"
+
+    def test_parse_and_round_trip(self):
+        spec = parse_spec({"kind": "verify", "source": self.SOURCE, "configs": ["base+nonsel"]})
+        assert isinstance(spec, VerifySpec)
+        assert parse_spec(spec.as_wire()) == spec
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ProtocolError, match="source"):
+            parse_spec({"kind": "verify", "source": "  "})
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown fuzz config"):
+            parse_spec({"kind": "verify", "source": self.SOURCE, "configs": ["warp"]})
+
+    def test_fingerprint_depends_on_source(self):
+        one = parse_spec({"kind": "verify", "source": self.SOURCE})
+        two = parse_spec({"kind": "verify", "source": self.SOURCE + "NOP\n"})
+        assert one.fingerprint() != two.fingerprint()
+
+
+class TestBatch:
+    def test_single_spec_body(self):
+        specs = parse_batch({"benchmark": "gzip"})
+        assert len(specs) == 1
+
+    def test_jobs_list_body(self):
+        specs = parse_batch({"jobs": [{"benchmark": "gzip"}, {"benchmark": "gcc"}]})
+        assert [spec.benchmark for spec in specs] == ["gzip", "gcc"]
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            parse_batch({"jobs": []})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_batch([1, 2])

@@ -200,3 +200,87 @@ class TestParser:
             ["run", "bzip", "--scheduler", "tag_elim", "--width", "8"]
         )
         assert args.scheduler == "tag_elim" and args.width == 8
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {repro.__version__}" in capsys.readouterr().out
+
+
+class TestErrorExits:
+    """Every failure is one readable line and a nonzero exit — no tracebacks."""
+
+    def test_fuzz_replay_missing_path(self, capsys):
+        assert main(["fuzz", "--replay", "/nonexistent/corpus"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "\n" == err[-1]
+
+    def test_submit_to_dead_server_is_one_line_error(self, capsys):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here
+        code = main(
+            ["submit", "gzip", "--server", f"http://127.0.0.1:{port}",
+             "--insts", "200", "--warmup", "100"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_submit_unknown_benchmark(self, capsys):
+        assert main(["submit", "doom", "--server", "http://127.0.0.1:1"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestServeCommands:
+    @pytest.fixture
+    def served(self, tmp_path):
+        from repro.analysis.cache import ResultCache
+        from repro.serve.executor import JobExecutor
+        from repro.serve.server import BackgroundServer
+
+        background = BackgroundServer(
+            port=0, workers=2, spool=tmp_path / "spool",
+            executor=JobExecutor(cache=ResultCache(tmp_path / "cache")),
+        )
+        with background:
+            yield background
+
+    def test_submit_wait_and_write_stats(self, served, tmp_path, capsys):
+        out = tmp_path / "stats"
+        code = main(
+            ["submit", "gzip", "gcc", "--server", served.base_url,
+             "--insts", "200", "--warmup", "100", "--wait",
+             "--timeout", "120", "--out", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "done" in stdout and "IPC" in stdout
+        assert len(sorted(out.glob("*.stats.json"))) == 2
+
+    def test_jobs_list_and_inspect(self, served, capsys):
+        assert main(
+            ["submit", "gzip", "--server", served.base_url,
+             "--insts", "200", "--warmup", "100", "--wait", "--timeout", "120"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["jobs", "--server", served.base_url]) == 0
+        listing = capsys.readouterr().out
+        assert "j-000001" in listing and "gzip" in listing
+        assert main(["jobs", "j-000001", "--server", served.base_url]) == 0
+        detail = capsys.readouterr().out
+        assert "status:" in detail and "done" in detail
+
+    def test_jobs_unknown_id_is_one_line_error(self, served, capsys):
+        assert main(["jobs", "j-999999", "--server", served.base_url]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err

@@ -138,9 +138,12 @@ class TestCli:
         assert code == 0
         assert "1 program(s)" in capsys.readouterr().out
 
-    def test_fuzz_unknown_config_errors(self):
-        with pytest.raises(ConfigurationError):
-            main(["fuzz", "--programs", "1", "--configs", "doom", "--quiet"])
+    def test_fuzz_unknown_config_errors(self, capsys):
+        code = main(["fuzz", "--programs", "1", "--configs", "doom", "--quiet"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown fuzz config")
+        assert "Traceback" not in err
 
     def test_fuzz_failure_exit_code_and_repro(self, capsys, tmp_path,
                                               monkeypatch):
