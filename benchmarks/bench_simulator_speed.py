@@ -7,23 +7,44 @@ cache or the parallel fan-out show up.  Baselines live in
 ``docs/PERFORMANCE.md``.
 """
 
+import pytest
+
 from repro.analysis.cache import ResultCache
 from repro.analysis.parallel import Job, execute_job, run_jobs
+from repro.fastsim import BACKENDS, make_processor, numpy_available
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import FOUR_WIDE
-from repro.pipeline.processor import Processor
-from repro.workloads.feed import collect_stream
+from repro.workloads.feed import ReplayFeed, collect_stream
 from repro.workloads.profiles import get_profile
 from repro.workloads.synthetic import SyntheticWorkload
 
 
-def test_speed_processor_cycle_loop(benchmark):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_speed_processor_cycle_loop(benchmark, backend):
+    """Cycle-loop cost per 2k-instruction run, one row per backend.
+
+    Times ``run()`` alone, symmetrically for both backends: the stream is
+    pre-materialized into a :class:`ReplayFeed` with the decode cache
+    warmed, and the processor is constructed in the per-round setup —
+    construction (branch-predictor table init) is not the cycle loop.
+    Baselines: ``results/speed_baseline.txt``.
+    """
+    if backend == "vector" and not numpy_available():
+        pytest.skip("vector backend needs numpy (pip install -e .[fast])")
     workload = SyntheticWorkload(get_profile("gzip"), seed=3)
+    feed = ReplayFeed.from_stream(workload, 2_600)
+    feed.columns()  # decode outside the timed region
+    fresh = {}
 
-    def simulate_2k():
-        return Processor(workload, FOUR_WIDE).run(max_insts=2_000, warmup=0)
+    def setup():
+        # A processor is single-run; build a fresh one outside the timer.
+        fresh["processor"] = make_processor(feed, FOUR_WIDE, backend=backend)
+        return (), {}
 
-    result = benchmark(simulate_2k)
+    def run_2k():
+        return fresh["processor"].run(max_insts=2_000, warmup=0)
+
+    result = benchmark.pedantic(run_2k, setup=setup, rounds=7, warmup_rounds=1)
     assert result.stats.committed >= 2_000
 
 

@@ -1,5 +1,13 @@
 #!/usr/bin/env bash
-# Regenerate the committed CI regression-gate baseline.
+# Regenerate the committed CI regression-gate baseline, one subtree per
+# cycle-loop backend:
+#
+#   results/ci_baseline/python/   reference Processor
+#   results/ci_baseline/vector/   repro.fastsim vector backend (needs numpy)
+#
+# The two trees differ only in the embedded config.backend field and the
+# fingerprint — every simulated counter is bit-identical (pinned by the
+# cross-backend fuzz gate).
 #
 # Run this after an INTENTIONAL timing-model change, eyeball the diff of
 # results/ci_baseline/, and commit it together with the model change.  The
@@ -25,9 +33,11 @@ if [[ "$ci_benchmarks" != "$BENCHMARKS" || "$ci_args" != "$ARGS" ]]; then
 fi
 
 rm -rf results/ci_baseline
-PYTHONPATH=src python -m repro export-stats $BENCHMARKS \
-  $ARGS --jobs 1 \
-  --out results/ci_baseline
+for backend in python vector; do
+  PYTHONPATH=src REPRO_BACKEND=$backend python -m repro export-stats $BENCHMARKS \
+    $ARGS --jobs 1 \
+    --out "results/ci_baseline/$backend"
+done
 
 echo "Baseline regenerated:"
-ls -l results/ci_baseline
+ls -lR results/ci_baseline

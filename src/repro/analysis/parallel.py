@@ -24,8 +24,9 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro.fastsim import make_processor
 from repro.pipeline.config import MachineConfig
-from repro.pipeline.processor import Processor, SimulationResult
+from repro.pipeline.processor import SimulationResult
 from repro.workloads.profiles import get_profile
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -66,9 +67,16 @@ class Job:
 
 def execute_job(job: Job) -> SimulationResult:
     """Run one job start to finish (top-level so worker processes can
-    unpickle it)."""
+    unpickle it).
+
+    The job's config carries the already-resolved cycle-loop backend
+    (the runner materializes it before building jobs), so worker
+    processes never consult the environment themselves.
+    """
     workload = SyntheticWorkload(get_profile(job.benchmark), seed=job.seed)
-    processor = Processor(workload, job.config, shadow_sizes=job.shadow_sizes)
+    processor = make_processor(
+        workload, job.config, backend=job.config.backend, shadow_sizes=job.shadow_sizes
+    )
     return processor.run(max_insts=job.insts, warmup=job.warmup)
 
 

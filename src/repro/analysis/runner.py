@@ -30,9 +30,10 @@ from pathlib import Path
 from repro.analysis.cache import ResultCache
 from repro.analysis.parallel import Job, env_int, run_jobs
 from repro.analysis.singleflight import SingleFlight
+from repro.fastsim import apply_backend, make_processor
 from repro.obs.registry import MetricsRegistry
 from repro.pipeline.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
-from repro.pipeline.processor import Processor, SimulationResult
+from repro.pipeline.processor import SimulationResult
 from repro.workloads.profiles import SPEC_BENCHMARKS, get_profile
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -98,7 +99,19 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def _key(self, benchmark: str, config: MachineConfig, seed: int, shadow: bool) -> tuple:
-        return (benchmark, seed, config.name, config.width, self.insts, self.warmup, shadow)
+        # config.backend is part of the key even though the backends are
+        # bit-identical: a memo hit must return the result of the backend
+        # the caller resolved to, so per-backend baselines stay honest.
+        return (
+            benchmark,
+            seed,
+            config.name,
+            config.width,
+            config.backend,
+            self.insts,
+            self.warmup,
+            shadow,
+        )
 
     def _shadow_sizes(self, shadow: bool) -> tuple[int, ...] | None:
         return SHADOW_SIZES if shadow else None
@@ -118,6 +131,10 @@ class ExperimentRunner:
         (``runner.coalesced`` counts the waits).
         """
         seed = seed if seed is not None else self.seed
+        # The runner is a backend boundary: REPRO_BACKEND (then the config
+        # field) is materialized here, so the cache fingerprint and memo
+        # key both see the resolved choice.
+        config = apply_backend(config)
         key = self._key(benchmark, config, seed, shadow)
         found = self._results.get(key)
         if found is not None:
@@ -147,8 +164,11 @@ class ExperimentRunner:
                 self.metrics.counter("runner.disk_hits").inc()
                 self._results[key] = found
                 return found
-        processor = Processor(
-            self.workload(benchmark, seed), config, shadow_sizes=shadow_sizes
+        processor = make_processor(
+            self.workload(benchmark, seed),
+            config,
+            backend=config.backend,
+            shadow_sizes=shadow_sizes,
         )
         found = processor.run(max_insts=self.insts, warmup=self.warmup)
         self.metrics.counter("runner.simulated").inc()
@@ -178,6 +198,7 @@ class ExperimentRunner:
         pending: list[tuple[tuple, Job]] = []
         seen: set[tuple] = set()
         for benchmark, config, seed, shadow in requests:
+            config = apply_backend(config)
             key = self._key(benchmark, config, seed, shadow)
             if key in seen or key in self._results:
                 continue
@@ -242,6 +263,10 @@ class ExperimentRunner:
         from repro.obs.export import build_stats_export, write_stats_json
 
         seed = seed if seed is not None else self.seed
+        # Materialize the backend before building the document, so the
+        # export's embedded config and fingerprint describe the run that
+        # actually happened (result() resolves identically).
+        config = apply_backend(config)
         result = self.result(benchmark, config, shadow=shadow, seed=seed)
         document = build_stats_export(
             result,

@@ -50,6 +50,7 @@ from repro.pipeline.config import (
     SchedulerModel,
 )
 from repro.errors import ReproError
+from repro.fastsim import BACKENDS, apply_backend, make_processor
 from repro.pipeline.pipetrace import render_pipetrace
 from repro.pipeline.processor import Processor
 from repro.workloads.feed import EmulatorFeed
@@ -118,9 +119,11 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    config = _machine(args)
+    config = apply_backend(_machine(args), args.backend)
     workload = SyntheticWorkload(get_profile(args.benchmark), seed=args.seed)
-    processor = Processor(workload, config, profile=args.profile)
+    processor = make_processor(
+        workload, config, backend=config.backend, profile=args.profile
+    )
     result = processor.run(max_insts=args.insts, warmup=args.warmup)
     _print_summary(result, processor)
     if processor.profiler is not None:
@@ -235,6 +238,9 @@ def _cmd_fuzz(args) -> int:
     if args.replay is not None:
         from pathlib import Path
 
+        if args.cross_backend:
+            print("error: --cross-backend cannot be combined with --replay", file=sys.stderr)
+            return 2
         if not Path(args.replay).exists():
             print(f"error: no such replay file or directory: {args.replay}", file=sys.stderr)
             return 2
@@ -259,6 +265,7 @@ def _cmd_fuzz(args) -> int:
             max_failures=args.max_failures,
             raw_seeds=raw_seeds,
             progress=progress if not args.quiet else None,
+            cross_backend=args.cross_backend,
         )
     print(report.summary())
     for failure in report.failures:
@@ -308,6 +315,8 @@ def _run_spec_from_args(args, benchmark: str) -> dict:
         spec["predictor"] = False
     if args.shadow:
         spec["shadow"] = True
+    if args.backend is not None:
+        spec["backend"] = args.backend
     return spec
 
 
@@ -415,6 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--profile", action="store_true",
         help="wall-time the pipeline stages and print the breakdown",
+    )
+    run_parser.add_argument(
+        "--backend", default=None, choices=BACKENDS,
+        help="cycle-loop backend (default: REPRO_BACKEND, then the config)",
     )
     _add_machine_arguments(run_parser)
 
@@ -533,6 +546,11 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of generating programs",
     )
     fuzz_parser.add_argument(
+        "--cross-backend", action="store_true",
+        help="run every program on both cycle-loop backends and diff the "
+        "serialized stats byte-for-byte (the vector-backend parity gate)",
+    )
+    fuzz_parser.add_argument(
         "--no-shrink", action="store_true",
         help="skip test-case minimization of failures",
     )
@@ -602,6 +620,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--warmup", type=int, default=20_000)
     submit_parser.add_argument("--seed", type=int, default=42)
     submit_parser.add_argument("--shadow", action="store_true")
+    submit_parser.add_argument(
+        "--backend", default=None, choices=BACKENDS,
+        help="cycle-loop backend the jobs should run on (default: server's choice)",
+    )
     submit_parser.add_argument(
         "--priority", type=int, default=0,
         help="higher runs earlier (default 0)",

@@ -1,0 +1,132 @@
+"""Backend selection for the cycle loop: pure-Python vs vectorized SoA.
+
+Two interchangeable cycle-loop backends exist:
+
+* ``"python"`` — :class:`repro.pipeline.processor.Processor`, the reference
+  implementation.  Supports every feature (lockstep checking, schedule
+  traces, profiling, the Figure 5 dependence matrix).
+* ``"vector"`` — :class:`repro.fastsim.engine.VectorProcessor`, a
+  struct-of-arrays rewrite of the same timing model that stores scheduler
+  state in flat preallocated arrays and fast-forwards over provably dead
+  cycles.  Bit-identical statistics (the ``repro fuzz --cross-backend``
+  parity gate pins this), roughly an order of magnitude faster, but it
+  supports only plain simulation runs — no checker, trace, profiler or
+  dependence matrix.  Requires numpy (``pip install -e .[fast]``).
+
+Selection precedence: an explicit ``--backend`` flag beats the
+``REPRO_BACKEND`` environment variable, which beats the config's
+``backend`` field, which defaults to ``"python"``.
+
+Call :func:`apply_backend` once at the boundary (CLI, runner, serve) to
+materialize the resolved backend into the :class:`MachineConfig`; from then
+on the config is the single source of truth, the cache fingerprint includes
+it, and :func:`make_processor` should be called with
+``backend=config.backend`` so a later environment change cannot diverge
+from what was fingerprinted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.errors import ConfigurationError
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import Processor
+
+#: Known cycle-loop backends, in documentation order.
+BACKENDS = ("python", "vector")
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+def numpy_available() -> bool:
+    """Is numpy importable (the vector backend's only dependency)?"""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve_backend(
+    explicit: str | None = None, config: MachineConfig | None = None
+) -> str:
+    """Resolve the backend name: flag > ``REPRO_BACKEND`` > config > python."""
+    backend = explicit
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or None
+    if backend is None and config is not None:
+        backend = config.backend
+    if backend is None:
+        backend = "python"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def apply_backend(config: MachineConfig, backend: str | None = None) -> MachineConfig:
+    """Materialize the resolved backend into *config*.
+
+    Returns a config whose ``backend`` field is the fully resolved choice,
+    so everything keyed on the config — the result-cache fingerprint, serve
+    job coalescing, stats exports — distinguishes backends and results are
+    never served across them.
+    """
+    resolved = resolve_backend(backend, config)
+    if config.backend == resolved:
+        return config
+    return dataclasses.replace(config, backend=resolved)
+
+
+def make_processor(
+    feed,
+    config: MachineConfig,
+    *,
+    backend: str | None = None,
+    shadow_sizes: tuple[int, ...] | None = None,
+    record_schedule: bool = False,
+    profile: bool = False,
+    check: bool = False,
+):
+    """Build the processor the resolved backend asks for.
+
+    The vector backend rejects (with a clean :class:`ConfigurationError`)
+    every feature that needs per-entry object state: lockstep checking,
+    schedule traces, the stage profiler and the dependence-matrix
+    cross-check all remain python-backend only.
+    """
+    resolved = resolve_backend(backend, config)
+    if resolved == "python":
+        return Processor(
+            feed,
+            config,
+            shadow_sizes=shadow_sizes,
+            record_schedule=record_schedule,
+            profile=profile,
+            check=check,
+        )
+    unsupported = None
+    if check:
+        unsupported = "lockstep checking (check=True)"
+    elif record_schedule:
+        unsupported = "schedule traces (record_schedule=True)"
+    elif profile:
+        unsupported = "stage profiling (profile=True)"
+    elif config.use_dependence_matrix:
+        unsupported = "the dependence-matrix cross-check"
+    if unsupported is not None:
+        raise ConfigurationError(
+            f"backend 'vector' does not support {unsupported}; "
+            "use the python backend for this run"
+        )
+    if not numpy_available():
+        raise ConfigurationError(
+            "backend 'vector' needs numpy; install it with pip install -e .[fast]"
+        )
+    from repro.fastsim.engine import VectorProcessor
+
+    return VectorProcessor(feed, config, shadow_sizes=shadow_sizes)

@@ -1,0 +1,1434 @@
+"""Struct-of-arrays cycle-loop engine (the ``vector`` backend).
+
+This is a cycle-exact transliteration of
+:class:`repro.pipeline.processor.Processor` with the per-entry objects
+(IQEntry / Operand / TagRecord / EventRing items) replaced by flat,
+preallocated parallel arrays indexed by instruction tag, plus an
+event-driven fast-forward over cycles that provably do nothing.
+
+Representation
+--------------
+Every dynamic instruction gets a dense tag at ingest (== ``op.seq``, which
+is also what the python backend uses as its tag).  Per-tag state lives in
+parallel flat lists; the two register operands of tag ``t`` live at flat
+indices ``2*t`` and ``2*t+1`` (operand index == the paper's LEFT/RIGHT
+side).  The scoreboard's consumer lists encode
+``(consumer_tag << 2) | (op_index + 1)`` in one int (op_index -1 is the
+LSQ memory dependence).  The four event calendars are inlined power-of-two
+rings identical in shape to :class:`repro.core.event_ring.EventRing`, but
+gated by a single min-heap of ``(cycle << 2) | ring`` keys: one integer
+comparison per cycle replaces four bucket walks, heap order reproduces the
+reference kill → slow-wakeup → broadcast → completion phase order, and the
+heap top doubles as an O(1) next-event bound for the fast-forward.
+
+Only control instructions get completion *events* (their resolution has to
+fire on its exact cycle to unblock fetch); everything else completes
+lazily — the completion cycle is stored per tag and compared at the few
+points that care (commit head, replay-squash eligibility, the fast-forward
+bound), which removes the majority of the event traffic.
+
+Feeds that expose a materialized ``ops`` list (see
+:class:`repro.workloads.feed.ReplayFeed`) are decoded before the loop
+starts: static per-instruction facts (pc, class, sources, dest, memory
+address) become flat columns shared by all phases and cached on the feed,
+and the config-dependent per-tag tables (select rank, latency, FU pool)
+are stamped out with vectorized numpy gathers over the opclass column.
+Generator feeds build the same columns op-by-op at fetch time.
+
+The IL1/DL1/L2 lookups on the per-instruction path are inlined down to the
+per-set ``OrderedDict`` operations of :class:`repro.memory.cache.Cache`
+(same structures, same true-LRU updates, same hit/miss/eviction counts —
+the counters accumulate in locals and flush into the real ``CacheStats``
+objects at run exit), replacing three method calls plus an AccessResult
+allocation per access with a few dict operations.
+
+Parity contract
+---------------
+Simulated timing and every statistic are bit-identical to the python
+backend: the engine reuses the *same* BranchUnit, last-arrival predictors
+and SimStats/shadow-bank objects (and the Cache set structures) and drives
+them in the same order, and ``repro fuzz --cross-backend`` diffs
+byte-deterministic stats exports of both backends over generated programs
+to keep it that way.  Anything observable that this engine cannot
+reproduce exactly (lockstep checking, schedule traces, profiling, the
+dependence matrix) is refused up front by
+:func:`repro.fastsim.make_processor`.
+
+Fast-forward
+------------
+A cycle is dead when the ready set is empty, the ROB head is not
+committable, no frontend instruction arrives, and fetch cannot run.
+Everything that can change that is either already scheduled in the event
+heap or has a known resume cycle (the head's lazy completion, frontend
+head arrival, fetch stall expiry, the commit watchdog), so the engine
+jumps straight to the earliest of those cycles and credits the skipped
+cycles to ``stats.cycles`` — on the reference workloads roughly two thirds
+of all cycles are dead, mostly under L2/memory misses.
+
+Why flat Python lists and not numpy arrays for the machine state?  Scalar
+indexing — which is what a cycle-accurate scheduler with cross-cycle
+dependences actually does — costs several times more on a numpy array than
+on a list (every access boxes a fresh Python int); numpy earns its keep on
+bulk work only: the decode-column gathers and growth-chunk stamping above.
+docs/PERFORMANCE.md has the measurements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.iq import PRIORITY_CLASSES
+from repro.core.last_arrival import (
+    DesignComparisonBank,
+    LastArrivalPredictor,
+    OperandSide,
+    ShadowPredictorBank,
+    StaticLastArrival,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.frontend.branch_unit import BranchUnit
+from repro.isa.opcodes import OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.config import (
+    BypassModel,
+    MachineConfig,
+    RecoveryModel,
+    RegFileModel,
+    RenameModel,
+    SchedulerModel,
+)
+from repro.pipeline.fu import is_non_pipelined, pool_index
+from repro.pipeline.processor import _WATCHDOG_CYCLES, SimulationResult
+from repro.pipeline.stats import SimStats
+from repro.workloads.feed import decode_columns
+
+#: OpClass.idx -> select rank / FU pool / non-pipelined flag (dense tables;
+#: -1 pool for classes that never issue, e.g. NOP).
+_RANK_BY_IDX = tuple(0 if c in PRIORITY_CLASSES else 1 for c in OpClass)
+_POOL_BY_IDX = tuple(
+    -1 if pool_index(c) is None else pool_index(c) for c in OpClass
+)
+_NONPIPE_BY_IDX = tuple(is_non_pipelined(c) for c in OpClass)
+#: numpy mirrors for the bulk per-tag table gathers on decoded feeds
+_RANK_NP = np.array(_RANK_BY_IDX, dtype=np.int64)
+_POOL_NP = np.array(_POOL_BY_IDX, dtype=np.int64)
+_NONPIPE_NP = np.array([int(x) for x in _NONPIPE_BY_IDX], dtype=np.int64)
+
+#: Operand-index -> OperandSide member.  The predictors and order stats use
+#: ``is`` identity on OperandSide, so raw ints must never be passed there.
+_SIDES = (OperandSide.LEFT, OperandSide.RIGHT)
+
+#: Select keys order by (priority rank, tag); tags stay far below 2^32.
+_KEY_SHIFT = 32
+_TAG_MASK = (1 << _KEY_SHIFT) - 1
+
+#: "Never" sentinel for fetch-resume / rename-token bookkeeping.
+_NEVER = 1 << 60
+
+#: Array growth quantum for generator (non-decoded) feeds.  Template
+#: chunks are stamped once at import and extended into the live lists —
+#: bulk work is the one thing numpy is faster at than CPython lists.
+_CHUNK = 2048
+_C_ZERO = np.zeros(_CHUNK, dtype=np.int64).tolist()
+_C_ONE = np.ones(_CHUNK, dtype=np.int64).tolist()
+_C_NEG1 = np.full(_CHUNK, -1, dtype=np.int64).tolist()
+_C_ZERO2 = np.zeros(2 * _CHUNK, dtype=np.int64).tolist()
+_C_NEG1_2 = np.full(2 * _CHUNK, -1, dtype=np.int64).tolist()
+_C_NONE = [None] * _CHUNK
+
+
+class VectorProcessor:
+    """Struct-of-arrays twin of :class:`Processor` (one run per instance)."""
+
+    backend_name = "vector"
+
+    def __init__(
+        self,
+        feed,
+        config: MachineConfig,
+        shadow_sizes: tuple[int, ...] | None = None,
+    ):
+        if config.use_dependence_matrix:
+            raise ConfigurationError(
+                "backend 'vector' does not support the dependence-matrix "
+                "cross-check; use the python backend for this run"
+            )
+        self.config = config
+        self.feed = feed
+        self.stats = SimStats()
+        if shadow_sizes:
+            self.stats.shadow_bank = ShadowPredictorBank(shadow_sizes)
+            self.stats.design_bank = DesignComparisonBank()
+        # Shared, stateful components reused verbatim from the python
+        # backend: identical call order keeps their state bit-identical.
+        if config.predictor_entries is None:
+            self.predictor: LastArrivalPredictor | StaticLastArrival = (
+                StaticLastArrival()
+            )
+        else:
+            self.predictor = LastArrivalPredictor(config.predictor_entries)
+        self.branch_unit = BranchUnit()
+        self.memory = MemoryHierarchy(config.mem)
+        self.now = 0
+        self.wall_seconds = 0.0
+        self.matrix_mismatches = 0
+        self.trace = None
+        self.profiler = None
+        self.checker = None
+        self._total_committed = 0
+        # Lifetime tallies mirroring Selector / RegisterFilePolicy.
+        self._sel_slots_taken = 0
+        self._sel_bubbles = 0
+        self._rf_rejections = 0
+        self._rf_seq_decisions = 0
+        self._ran = False
+        # Per-class latency table for this config's Latencies (0 for
+        # classes that never issue).
+        lat = []
+        for op_class in OpClass:
+            try:
+                lat.append(config.lat.for_class(op_class))
+            except ConfigurationError:
+                lat.append(0)
+        self._lat_by_idx = tuple(lat)
+
+    # ==================================================================
+    def run(self, max_insts: int, warmup: int = 0) -> SimulationResult:
+        """Simulate until *max_insts* instructions commit after warmup."""
+        if self._ran:
+            raise SimulationError("VectorProcessor instances are single-run")
+        self._ran = True
+        t_start = perf_counter()
+
+        config = self.config
+        stats = self.stats
+        memory = self.memory
+        predictor = self.predictor
+        predictor_update = predictor.update
+        record_wakeup_pair = stats.record_wakeup_pair
+        branch_predict = self.branch_unit.predict
+        branch_resolve = self.branch_unit.resolve
+        pc_address = getattr(self.feed, "pc_address", None)
+        design_bank = stats.design_bank
+        sides = _SIDES
+        lat_by_idx = self._lat_by_idx
+        rank_by_idx = _RANK_BY_IDX
+        pool_by_idx = _POOL_BY_IDX
+        nonpipe_by_idx = _NONPIPE_BY_IDX
+        # The hot predict path inlines the bimodal table lookup; the static
+        # policy is expressed as a one-entry table that always reads RIGHT.
+        if type(predictor) is LastArrivalPredictor:
+            p_tab = predictor._table
+            p_mask = predictor._mask
+            p_mid = predictor._mid
+        else:
+            p_tab, p_mask, p_mid = [1], 0, 0
+
+        # ---- config scalars ------------------------------------------
+        width = config.width
+        ruu_size = config.ruu_size
+        lsq_size = config.lsq_size
+        front_depth = config.front_depth
+        exec_offset = config.exec_offset
+        agen_lat = config.lat.agen
+        assumed = config.assumed_load_latency
+        spec_window = config.load_spec_window
+        detect = config.tag_elim_detect_delay
+        seq_mode = config.scheduler is SchedulerModel.SEQ_WAKEUP
+        tag_elim_mode = config.scheduler is SchedulerModel.TAG_ELIM
+        sequential_rf = config.regfile is RegFileModel.SEQUENTIAL
+        crossbar_rf = config.regfile is RegFileModel.CROSSBAR
+        fast_now_only = seq_mode and sequential_rf
+        non_selective = config.recovery is RecoveryModel.NON_SELECTIVE
+        half_rename = config.rename is RenameModel.HALF_PORTS
+        half_bypass = config.bypass is BypassModel.HALF
+        fu_counts = [
+            config.fu.int_alu,
+            config.fu.fp_alu,
+            config.fu.int_mult,
+            config.fu.fp_mult,
+            config.fu.mem_ports,
+        ]
+
+        # ---- inlined cache state (same structures Cache.access uses) -
+        mem_cfg = config.mem
+        il1 = memory.il1
+        dl1 = memory.dl1
+        l2 = memory.l2
+        il1_sets = il1._sets
+        il1_shift = il1._line_shift
+        il1_mask = il1._set_mask
+        il1_assoc = il1.config.associativity
+        dl1_sets = dl1._sets
+        dl1_shift = dl1._line_shift
+        dl1_mask = dl1._set_mask
+        dl1_assoc = dl1.config.associativity
+        l2_sets = l2._sets
+        l2_shift = l2._line_shift
+        l2_mask = l2._set_mask
+        l2_assoc = l2.config.associativity
+        il1_lat = mem_cfg.il1_latency
+        dl1_lat = mem_cfg.dl1_latency
+        l2_lat = mem_cfg.l2_latency
+        mem_lat = mem_cfg.memory_latency
+        c_il1a = c_il1h = c_il1m = c_il1e = 0
+        c_dl1a = c_dl1h = c_dl1m = c_dl1e = 0
+        c_l2a = c_l2h = c_l2m = c_l2e = 0
+
+        def flush_mem() -> None:
+            nonlocal c_il1a, c_il1h, c_il1m, c_il1e
+            nonlocal c_dl1a, c_dl1h, c_dl1m, c_dl1e
+            nonlocal c_l2a, c_l2h, c_l2m, c_l2e
+            cs = il1.stats
+            cs.accesses += c_il1a
+            cs.hits += c_il1h
+            cs.misses += c_il1m
+            cs.evictions += c_il1e
+            cs = dl1.stats
+            cs.accesses += c_dl1a
+            cs.hits += c_dl1h
+            cs.misses += c_dl1m
+            cs.evictions += c_dl1e
+            cs = l2.stats
+            cs.accesses += c_l2a
+            cs.hits += c_l2h
+            cs.misses += c_l2m
+            cs.evictions += c_l2e
+            c_il1a = c_il1h = c_il1m = c_il1e = 0
+            c_dl1a = c_dl1h = c_dl1m = c_dl1e = 0
+            c_l2a = c_l2h = c_l2m = c_l2e = 0
+
+        # ---- per-instruction decode columns --------------------------
+        # Decoded feeds (a materialized ops list) get bulk columns and
+        # config tables up front; generator feeds build the same columns
+        # op-by-op at fetch time.
+        feed_ops = getattr(self.feed, "ops", None)
+        get_columns = getattr(self.feed, "columns", None)
+        if type(feed_ops) is list:
+            ops_l = feed_ops
+            n_pre = len(ops_l)
+            cols = get_columns() if callable(get_columns) else None
+            if cols is None:
+                cols = decode_columns(ops_l)
+            pc_col = cols["pc"]
+            ctrl_col = cols["ctrl"]
+            load_col = cols["load"]
+            store_col = cols["store"]
+            nop_col = cols["nop"]
+            dest_col = cols["dest"]
+            deps_col = cols["deps"]
+            addr_col = cols["addr"]
+            ocls_np = cols.get("ocls_np")
+            if ocls_np is None:
+                ocls_np = np.array(cols["ocls"], dtype=np.int64)
+                cols["ocls_np"] = ocls_np  # memoize with the decode cache
+            rkey = (
+                (np.take(_RANK_NP, ocls_np) << _KEY_SHIFT)
+                | np.arange(n_pre, dtype=np.int64)
+            ).tolist()
+            latv = np.take(
+                np.array(lat_by_idx, dtype=np.int64), ocls_np
+            ).tolist()
+            poolv = np.take(_POOL_NP, ocls_np).tolist()
+            npipe = np.take(_NONPIPE_NP, ocls_np).tolist()
+            cap = n_pre
+        else:
+            ops_l = []
+            n_pre = 0
+            pc_col = []
+            ctrl_col = []
+            load_col = []
+            store_col = []
+            nop_col = []
+            dest_col = []
+            deps_col = []
+            addr_col = []
+            rkey = []
+            latv = []
+            poolv = []
+            npipe = []
+            cap = 0
+
+        # ---- per-tag mutable struct-of-arrays ------------------------
+        st = [0] * cap            # 0 WAITING / 1 ISSUED / 2 COMPLETED
+        epoch = [0] * cap
+        elig = [0] * cap          # eligible_cycle
+        inrd = [0] * cap          # in the ready set?
+        issue_c = [-1] * cap      # issue_cycle
+        replays_a = [0] * cap
+        nops_a = [0] * cap        # number of register operands (0..2)
+        rai_a = [0] * cap         # stat_ready_at_insert
+        rec_a = [0] * cap         # stat_wakeup_recorded
+        fastside_a = [1] * cap    # fast/predicted-last side (default RIGHT)
+        rfcat = [0] * cap         # 0 none / 1 two_ready / 2 b2b / 3 non-b2b
+        mdt = [-1] * cap          # mem_dep_tag
+        mdr = [1] * cap           # mem_dep_ready
+        fwd_a = [0] * cap         # LSQ-forwarded load
+        fill_c = [-1] * cap       # mem_fill_cycle (-1 = not accessed yet)
+        cmp_c = [-1] * cap        # lazy completion cycle
+        cmp_ep = [0] * cap        # epoch the lazy completion belongs to
+        # operand arrays, flat index i = 2*tag + op_index
+        o_tag = [-1] * (2 * cap)  # producer tag (-1 = architectural)
+        o_rdy = [0] * (2 * cap)
+        o_rai = [0] * (2 * cap)   # ready_at_insert
+        o_rc = [-1] * (2 * cap)   # ready_cycle
+        o_arr = [-1] * (2 * cap)  # arrival_cycle (-1 = None)
+        # scoreboard arrays
+        sb_alive = [0] * cap
+        sb_valid = [0] * cap
+        sb_bc = [-1] * cap        # broadcast_cycle (-1 = None)
+        cons: list = [None] * cap  # tag -> None | list of encoded consumers
+
+        n_tags = 0
+
+        def grow() -> None:
+            nonlocal cap
+            for lst in (st, epoch, elig, inrd, replays_a, nops_a, rai_a,
+                        rec_a, rfcat, fwd_a, cmp_ep, sb_alive, sb_valid):
+                lst.extend(_C_ZERO)
+            for lst in (issue_c, mdt, fill_c, cmp_c, sb_bc):
+                lst.extend(_C_NEG1)
+            mdr.extend(_C_ONE)
+            fastside_a.extend(_C_ONE)
+            for lst in (o_rdy, o_rai):
+                lst.extend(_C_ZERO2)
+            for lst in (o_tag, o_rc, o_arr):
+                lst.extend(_C_NEG1_2)
+            cons.extend(_C_NONE)
+            cap += _CHUNK
+
+        # ---- event rings (same sizing as EventRing) ------------------
+        horizon = (
+            agen_lat
+            + mem_cfg.dl1_latency
+            + mem_cfg.l2_latency
+            + mem_cfg.memory_latency
+            + config.lat.worst_case
+            + exec_offset
+            + spec_window
+            + detect
+            + 8
+        )
+        ring_size = 1 << max(3, (max(1, horizon) - 1).bit_length())
+        ring_mask = ring_size - 1
+        k_buckets: list[list] = [[] for _ in range(ring_size)]
+        sw_buckets: list[list] = [[] for _ in range(ring_size)]
+        b_buckets: list[list] = [[] for _ in range(ring_size)]
+        c_buckets: list[list] = [[] for _ in range(ring_size)]
+        #: min-heap of (cycle << 2) | ring; one key per non-empty bucket
+        ev_heap: list[int] = []
+
+        # ---- machine state -------------------------------------------
+        now = 0
+        rename_tbl: dict[int, int | None] = {}
+        ready: list[int] = []     # select keys of ready-set members
+        fr_arr: deque = deque()   # frontend arrival cycles (program order)
+        fr_tag: deque = deque()   # frontend tags, parallel to fr_arr
+        predictions: dict[int, object] = {}
+        rob_dq: deque = deque()
+        lsq_dq: deque = deque()
+        #: 8-byte-aligned line -> tag of the newest in-LSQ store to it;
+        #: replaces the reference's LSQ scan (which finds exactly this)
+        store_line: dict[int, int] = {}
+        feed_iter = iter(self.feed) if n_pre == 0 else None
+        feed_done = False
+        pending_tag = -1          # fetched-but-stalled op (== _next_op)
+        #: first cycle fetch may run again; _NEVER while the feed is
+        #: drained or fetch waits on a mispredicted branch
+        fetch_resume = 0
+        fetch_blocked = -1        # tag of the mispredicted branch (-1 none)
+        last_fetch_line = -1
+        line_cache: dict[int, tuple[int, int]] = {}  # pc -> (line, address)
+        line_cache_get = line_cache.get
+        total_committed = 0
+        last_commit = 0
+        # select / FU / RF state, kept against absolute cycle numbers so
+        # idle cycles touch none of it
+        fu_cycle = -1             # cycle fu_issued/fu_busy were last reset
+        fu_issued = [0, 0, 0, 0, 0]
+        fu_busy: list[list[int]] = [[], [], [], [], []]
+        bubble_cycle = -1         # cycle the pending select bubbles apply to
+        bubble_n = 0
+        sel_slots_taken = 0
+        sel_bubbles = 0
+        rf_rejections = 0
+        rf_seq_decisions = 0
+
+        # ---- stat accumulators (flushed into SimStats at window
+        # boundaries and run exits; sub-objects like the wakeup-order
+        # tracker and the shadow banks are updated live) ----------------
+        s_cycles = s_fetched = s_dispatched = s_two_src = 0
+        s_rai0 = s_rai1 = s_rai2 = 0
+        s_committed = s_issued = s_branches = s_mispred = 0
+        s_replayed = s_lmr = s_rename_stalls = 0
+        s_seq_rf = s_dbl = s_seq_slow = s_te = 0
+        s_rf_two = s_rf_b2b = s_rf_nb = 0
+        s_simul = s_lap = s_lamp = 0
+
+        def flush_stats() -> None:
+            nonlocal s_cycles, s_fetched, s_dispatched, s_two_src
+            nonlocal s_rai0, s_rai1, s_rai2
+            nonlocal s_committed, s_issued, s_branches, s_mispred
+            nonlocal s_replayed, s_lmr, s_rename_stalls
+            nonlocal s_seq_rf, s_dbl, s_seq_slow, s_te
+            nonlocal s_rf_two, s_rf_b2b, s_rf_nb
+            nonlocal s_simul, s_lap, s_lamp
+            stats.cycles += s_cycles
+            stats.fetched += s_fetched
+            stats.dispatched += s_dispatched
+            stats.two_source_dispatched += s_two_src
+            if s_rai0:
+                stats.ready_at_insert[0] += s_rai0
+            if s_rai1:
+                stats.ready_at_insert[1] += s_rai1
+            if s_rai2:
+                stats.ready_at_insert[2] += s_rai2
+            stats.committed += s_committed
+            stats.issued += s_issued
+            stats.branches += s_branches
+            stats.branch_mispredicts += s_mispred
+            stats.replayed += s_replayed
+            stats.load_miss_replays += s_lmr
+            stats.rename_port_stalls += s_rename_stalls
+            stats.sequential_rf_accesses += s_seq_rf
+            stats.double_bypass_delays += s_dbl
+            stats.seq_wakeup_slow_initiations += s_seq_slow
+            stats.tag_elim_misschedules += s_te
+            stats.rf_two_ready += s_rf_two
+            stats.rf_back_to_back += s_rf_b2b
+            stats.rf_non_back_to_back += s_rf_nb
+            stats.simultaneous_wakeups += s_simul
+            stats.last_arrival_predictions += s_lap
+            stats.last_arrival_mispredictions += s_lamp
+            s_cycles = s_fetched = s_dispatched = s_two_src = 0
+            s_rai0 = s_rai1 = s_rai2 = 0
+            s_committed = s_issued = s_branches = s_mispred = 0
+            s_replayed = s_lmr = s_rename_stalls = 0
+            s_seq_rf = s_dbl = s_seq_slow = s_te = 0
+            s_rf_two = s_rf_b2b = s_rf_nb = 0
+            s_simul = s_lap = s_lamp = 0
+
+        # ==============================================================
+        # Closures for the recursive replay cascade and cold paths.
+        # ==============================================================
+        if tag_elim_mode:
+            def entry_ready(t: int) -> bool:
+                if not mdr[t]:
+                    return False
+                n = nops_a[t]
+                if n != 2 or replays_a[t] > 0:
+                    # post-misschedule: the scoreboard serves full readiness
+                    if n == 0:
+                        return True
+                    b = t << 1
+                    if not o_rdy[b]:
+                        return False
+                    return n == 1 or o_rdy[b + 1] == 1
+                # speculative: only the connected comparator decides
+                return o_rdy[(t << 1) + fastside_a[t]] == 1
+        else:
+            def entry_ready(t: int) -> bool:
+                if not mdr[t]:
+                    return False
+                n = nops_a[t]
+                if n == 0:
+                    return True
+                b = t << 1
+                if not o_rdy[b]:
+                    return False
+                return n == 1 or o_rdy[b + 1] == 1
+
+        def maybe_ready(t: int) -> None:
+            if st[t] == 0 and not inrd[t] and mdr[t] and entry_ready(t):
+                inrd[t] = 1
+                ready.append(rkey[t])
+
+        def invalidate_tag(tag: int) -> None:
+            # Scoreboard.invalidate + the processor's consumer cascade.
+            # "st == 1 and not lazily complete" is the reference's ISSUED
+            # state: a lazily-completed consumer must never be squashed.
+            if not sb_alive[tag]:
+                return
+            sb_valid[tag] = 0
+            sb_bc[tag] = -1
+            lst = cons[tag]
+            if not lst:
+                return
+            for enc in lst:
+                ct = enc >> 2
+                j = (enc & 3) - 1
+                if j < 0:
+                    if mdt[ct] == tag and mdr[ct]:
+                        mdr[ct] = 0
+                        if st[ct] == 1 and (
+                            cmp_ep[ct] != epoch[ct] or cmp_c[ct] > now
+                        ):
+                            squash(ct)
+                    continue
+                i = (ct << 1) + j
+                if o_rdy[i] and o_tag[i] == tag:
+                    o_rdy[i] = 0
+                    o_rc[i] = -1
+                    if st[ct] == 1 and (
+                        cmp_ep[ct] != epoch[ct] or cmp_c[ct] > now
+                    ):
+                        squash(ct)
+                    elif inrd[ct]:
+                        ready.remove(rkey[ct])
+                        inrd[ct] = 0
+
+        def squash(t: int) -> None:
+            nonlocal s_replayed
+            s_replayed += 1
+            # reset_for_replay: drop ready bits whose broadcast died
+            st[t] = 0
+            issue_c[t] = -1
+            replays_a[t] += 1
+            b = t << 1
+            for j in range(nops_a[t]):
+                i = b + j
+                pt = o_tag[i]
+                if o_rdy[i] and pt != -1 and sb_alive[pt] and not sb_valid[pt]:
+                    o_rdy[i] = 0
+                    o_rc[i] = -1
+            epoch[t] += 1
+            elig[t] = now + 1
+            invalidate_tag(t)
+            maybe_ready(t)
+
+        def record_pair(t: int) -> None:
+            # _maybe_record_wakeup_pair (callers pre-check rec_a/nops)
+            nonlocal s_simul, s_lap, s_lamp
+            pc = pc_col[t]
+            b = t << 1
+            n_rai = rai_a[t]
+            if n_rai == 1:
+                j = 1 if o_rai[b] else 0  # the operand pending at insert
+                if o_arr[b + j] == -1:
+                    return
+                rec_a[t] = 1
+                last_side = sides[j]
+                s_lap += 1
+                if fastside_a[t] != j:
+                    s_lamp += 1
+                if design_bank is not None:
+                    design_bank.observe(pc, last_side)
+                predictor_update(pc, last_side)
+                return
+            if n_rai != 0:
+                return
+            a0 = o_arr[b]
+            a1 = o_arr[b + 1]
+            if a0 == -1 or a1 == -1:
+                return
+            rec_a[t] = 1
+            slack = a0 - a1
+            if slack < 0:
+                slack = -slack
+            if slack == 0:
+                last_side = None
+                s_simul += 1
+            else:
+                j = 0 if a0 > a1 else 1
+                last_side = sides[j]
+            record_wakeup_pair(pc, slack, last_side)
+            if design_bank is not None:
+                design_bank.observe(pc, last_side)
+            if last_side is not None:
+                s_lap += 1
+                if fastside_a[t] != j:
+                    s_lamp += 1
+                predictor_update(pc, last_side)
+
+        def resolve_branch(t: int) -> None:
+            nonlocal fetch_blocked, fetch_resume, last_fetch_line
+            nonlocal s_branches, s_mispred
+            prediction = predictions.pop(t, None)
+            if prediction is None:
+                return
+            op = ops_l[t]
+            s_branches += 1
+            if branch_resolve(
+                op.pc, op.opcode, prediction, op.taken, op.next_pc, op.pc + 1
+            ):
+                s_mispred += 1
+            if fetch_blocked == t:
+                # fetch stalls were <= now when the block was set, so the
+                # reference's max(stalled, now + 1) is exactly now + 1
+                fetch_blocked = -1
+                fetch_resume = now + 1
+                last_fetch_line = -1
+
+        def process_kill(rt, kep, win_s, win_e, squash_root) -> None:
+            nonlocal s_lmr
+            if epoch[rt] != kep:
+                return  # the root was itself squashed; this shadow is void
+            if not squash_root:
+                s_lmr += 1
+            invalidate_tag(rt)
+            if squash_root and st[rt] == 1 and (
+                cmp_ep[rt] != epoch[rt] or cmp_c[rt] > now
+            ):
+                squash(rt)
+            if win_s != -1:
+                for ct in rob_dq:
+                    if (
+                        st[ct] == 1
+                        and ct != rt
+                        and win_s <= issue_c[ct] <= win_e
+                        and (cmp_ep[ct] != epoch[ct] or cmp_c[ct] > now)
+                    ):
+                        squash(ct)
+
+        # ==============================================================
+        # Main loop.
+        # ==============================================================
+        measured_started = warmup == 0
+        budget = max_insts + warmup
+        while True:
+            now += 1
+
+            # ---- phase 1: event delivery -----------------------------
+            # Heap keys are (cycle << 2) | ring with rings numbered in the
+            # reference processing order (kills 0, slow wakeups 1,
+            # broadcasts 2, completions 3), so draining the heap in order
+            # reproduces _process_events exactly.
+            ev_hi = (now << 2) | 3
+            if ev_heap and ev_heap[0] <= ev_hi:
+                idx = now & ring_mask
+                while ev_heap and ev_heap[0] <= ev_hi:
+                    ring = heappop(ev_heap) & 3
+                    if ring == 2:
+                        bucket = b_buckets[idx]
+                        b_buckets[idx] = []
+                        for pt, pep, _data_valid in bucket:
+                            # _broadcast (inlined); dead or re-epoched
+                            # producers fall out here
+                            if epoch[pt] != pep or not sb_alive[pt]:
+                                continue
+                            sb_bc[pt] = now
+                            sb_valid[pt] = 1
+                            clist = cons[pt]
+                            if not clist:
+                                continue
+                            for enc in clist:
+                                ct = enc >> 2
+                                j = (enc & 3) - 1
+                                if j < 0:
+                                    if mdt[ct] == pt and not mdr[ct]:
+                                        mdr[ct] = 1
+                                        if (
+                                            st[ct] == 0
+                                            and not inrd[ct]
+                                            and entry_ready(ct)
+                                        ):
+                                            inrd[ct] = 1
+                                            ready.append(rkey[ct])
+                                    continue
+                                i = (ct << 1) + j
+                                if o_tag[i] != pt:
+                                    continue
+                                if o_arr[i] == -1:
+                                    o_arr[i] = now
+                                    if not rec_a[ct] and nops_a[ct] == 2:
+                                        record_pair(ct)
+                                if o_rdy[i]:
+                                    continue
+                                if (
+                                    seq_mode
+                                    and nops_a[ct] == 2
+                                    and j != fastside_a[ct]
+                                ):
+                                    # slow-bus delivery, one cycle later
+                                    c = now + 1
+                                    swb = sw_buckets[c & ring_mask]
+                                    if not swb:
+                                        heappush(ev_heap, (c << 2) | 1)
+                                    swb.append((ct, j, pt))
+                                else:
+                                    o_rdy[i] = 1
+                                    o_rc[i] = now
+                                    if (
+                                        st[ct] == 0
+                                        and not inrd[ct]
+                                        and entry_ready(ct)
+                                    ):
+                                        inrd[ct] = 1
+                                        ready.append(rkey[ct])
+                    elif ring == 3:
+                        # only control instructions get completion events;
+                        # everything else completes lazily via cmp_c/cmp_ep
+                        bucket = c_buckets[idx]
+                        c_buckets[idx] = []
+                        for t, ep in bucket:
+                            if epoch[t] == ep and st[t] == 1:
+                                st[t] = 2  # _complete
+                                resolve_branch(t)
+                    elif ring == 0:
+                        bucket = k_buckets[idx]
+                        k_buckets[idx] = []
+                        for rt, kep, win_s, win_e, sq_root in bucket:
+                            process_kill(rt, kep, win_s, win_e, sq_root)
+                    else:
+                        bucket = sw_buckets[idx]
+                        sw_buckets[idx] = []
+                        for ct, j, pt in bucket:
+                            # _deliver_slow
+                            i = (ct << 1) + j
+                            if o_rdy[i] or o_tag[i] != pt:
+                                continue
+                            if sb_alive[pt] and not sb_valid[pt]:
+                                continue  # invalidated in the meantime
+                            o_rdy[i] = 1
+                            o_rc[i] = now
+                            if (
+                                st[ct] == 0
+                                and not inrd[ct]
+                                and entry_ready(ct)
+                            ):
+                                inrd[ct] = 1
+                                ready.append(rkey[ct])
+
+            # ---- phase 2: wakeup/select (atomic) — issue -------------
+            if ready:
+                if fu_cycle != now:
+                    # begin_cycle, deferred: pruning against "> now" at the
+                    # first select of the cycle is equivalent to pruning
+                    # every cycle
+                    fu_cycle = now
+                    fu_issued[0] = 0
+                    fu_issued[1] = 0
+                    fu_issued[2] = 0
+                    fu_issued[3] = 0
+                    fu_issued[4] = 0
+                    for pi in range(5):
+                        busy = fu_busy[pi]
+                        if busy:
+                            fu_busy[pi] = [c for c in busy if c > now]
+                avail = width - (bubble_n if bubble_cycle == now else 0)
+                rf_ports_used = 0
+                for key in sorted(ready):
+                    if avail <= 0:
+                        break
+                    t = key & _TAG_MASK
+                    if st[t] != 0 or elig[t] > now:
+                        continue
+                    # entry_ready, inlined
+                    n = nops_a[t]
+                    b = t << 1
+                    if not mdr[t]:
+                        is_rdy = False
+                    elif tag_elim_mode and n == 2 and replays_a[t] == 0:
+                        is_rdy = o_rdy[b + fastside_a[t]] == 1
+                    elif n == 0:
+                        is_rdy = True
+                    elif not o_rdy[b]:
+                        is_rdy = False
+                    else:
+                        is_rdy = n == 1 or o_rdy[b + 1] == 1
+                    if not is_rdy:
+                        # stale ready-set entry (un-woken by a replay)
+                        ready.remove(key)
+                        inrd[t] = 0
+                        continue
+                    pool = poolv[t]
+                    if fu_issued[pool] + len(fu_busy[pool]) >= fu_counts[pool]:
+                        continue
+                    if crossbar_rf:
+                        needed = 0
+                        for j in range(n):
+                            i = b + j
+                            if not (
+                                o_rdy[i] and o_rc[i] == now and not o_rai[i]
+                            ):
+                                needed += 1
+                        if rf_ports_used + needed > width:
+                            rf_rejections += 1
+                            continue
+                        rf_ports_used += needed
+                    seq_access = False
+                    if sequential_rf and n >= 2:
+                        has_now = False
+                        for j in range(n):
+                            if fast_now_only and j != fastside_a[t]:
+                                continue  # nowR removed (combined machine)
+                            i = b + j
+                            if o_rdy[i] and o_rc[i] == now and not o_rai[i]:
+                                has_now = True
+                                break
+                        if not has_now:
+                            rf_seq_decisions += 1
+                            seq_access = True
+                    # take_slot + fu.issue
+                    avail -= 1
+                    sel_slots_taken += 1
+                    if seq_access:
+                        nb = now + 1
+                        if bubble_cycle == nb:
+                            bubble_n += 1
+                        else:
+                            bubble_cycle = nb
+                            bubble_n = 1
+                        sel_bubbles += 1
+                    fu_issued[pool] += 1
+                    if npipe[t]:
+                        fu_busy[pool].append(now + latv[t])
+                    # ---- _issue (inlined) ----
+                    ready.remove(key)
+                    inrd[t] = 0
+                    st[t] = 1
+                    issue_c[t] = now
+                    ep = epoch[t] + 1
+                    epoch[t] = ep
+                    s_issued += 1
+                    if n == 2:
+                        # _record_issue_stats
+                        r0 = o_rai[b]
+                        r1 = o_rai[b + 1]
+                        if r0 and r1:
+                            rfcat[t] = 1
+                        elif (
+                            o_rdy[b] and o_rc[b] == now and not r0
+                        ) or (
+                            o_rdy[b + 1] and o_rc[b + 1] == now and not r1
+                        ):
+                            rfcat[t] = 2
+                        else:
+                            rfcat[t] = 3
+                        if seq_mode:
+                            i = b + 1 - fastside_a[t]  # the slow-bus side
+                            if o_rc[i] == now and not o_rai[i]:
+                                s_seq_slow += 1
+                        if tag_elim_mode:
+                            # verify_at_issue: the eliminated operand must
+                            # really be ready per the scoreboard
+                            i = b + 1 - fastside_a[t]
+                            if not o_rai[i]:
+                                pt = o_tag[i]
+                                if not (
+                                    o_rdy[i]
+                                    and (
+                                        pt == -1
+                                        or not sb_alive[pt]
+                                        or sb_valid[pt]
+                                    )
+                                ):
+                                    s_te += 1
+                                    kc = now + detect
+                                    kb = k_buckets[kc & ring_mask]
+                                    if not kb:
+                                        heappush(ev_heap, kc << 2)
+                                    kb.append((t, ep, now, kc - 1, True))
+                    if load_col[t]:
+                        # _issue_load
+                        if fill_c[t] == -1:
+                            if fwd_a[t]:
+                                actual_mem = dl1_lat  # store queue data
+                            else:
+                                # inlined MemoryHierarchy.load
+                                addr = addr_col[t]
+                                line = addr >> dl1_shift
+                                cset = dl1_sets[line & dl1_mask]
+                                c_dl1a += 1
+                                if line in cset:
+                                    c_dl1h += 1
+                                    cset.move_to_end(line)
+                                    actual_mem = dl1_lat
+                                else:
+                                    c_dl1m += 1
+                                    if len(cset) >= dl1_assoc:
+                                        cset.popitem(last=False)
+                                        c_dl1e += 1
+                                    cset[line] = False
+                                    l2line = addr >> l2_shift
+                                    cset = l2_sets[l2line & l2_mask]
+                                    c_l2a += 1
+                                    if l2line in cset:
+                                        c_l2h += 1
+                                        cset.move_to_end(l2line)
+                                        actual_mem = dl1_lat + l2_lat
+                                    else:
+                                        c_l2m += 1
+                                        if len(cset) >= l2_assoc:
+                                            cset.popitem(last=False)
+                                            c_l2e += 1
+                                        cset[l2line] = False
+                                        actual_mem = (
+                                            dl1_lat + l2_lat + mem_lat
+                                        )
+                            fill_c[t] = now + agen_lat + actual_mem
+                        assumed_cycle = now + assumed
+                        fill = fill_c[t]
+                        if fill <= assumed_cycle:
+                            # data arrives within the assumed-hit schedule
+                            bb = b_buckets[assumed_cycle & ring_mask]
+                            if not bb:
+                                heappush(ev_heap, (assumed_cycle << 2) | 2)
+                            bb.append((t, ep, 1))
+                            cmp_c[t] = assumed_cycle + exec_offset - agen_lat
+                            cmp_ep[t] = ep
+                            continue
+                        # latency mispredict: speculative broadcast, kill
+                        # after the resolution shadow, rebroadcast at fill
+                        bb = b_buckets[assumed_cycle & ring_mask]
+                        if not bb:
+                            heappush(ev_heap, (assumed_cycle << 2) | 2)
+                        bb.append((t, ep, 0))
+                        kc = assumed_cycle + spec_window
+                        kb = k_buckets[kc & ring_mask]
+                        if not kb:
+                            heappush(ev_heap, kc << 2)
+                        if non_selective:
+                            kb.append((t, ep, assumed_cycle, kc - 1, False))
+                        else:
+                            kb.append((t, ep, -1, 0, False))
+                        rebroadcast = fill if fill > kc + 1 else kc + 1
+                        if rebroadcast - now > ring_size:
+                            raise SimulationError(
+                                "event past the ring horizon"
+                            )  # pragma: no cover - horizon covers all delays
+                        bb = b_buckets[rebroadcast & ring_mask]
+                        if not bb:
+                            heappush(ev_heap, (rebroadcast << 2) | 2)
+                        bb.append((t, ep, 1))
+                        cc = fill + exec_offset - agen_lat
+                        if cc < rebroadcast:
+                            cc = rebroadcast
+                        cmp_c[t] = cc
+                        cmp_ep[t] = ep
+                        continue
+                    latency = latv[t]
+                    if seq_access:
+                        latency += 1
+                        s_seq_rf += 1
+                    if half_bypass and n == 2:
+                        if (
+                            o_rdy[b] and o_rc[b] == now and not o_rai[b]
+                        ) and (
+                            o_rdy[b + 1]
+                            and o_rc[b + 1] == now
+                            and not o_rai[b + 1]
+                        ):
+                            latency += 1
+                            s_dbl += 1
+                    bc = now + latency
+                    if latency > ring_size:
+                        raise SimulationError(
+                            "event past the ring horizon"
+                        )  # pragma: no cover - horizon covers all latencies
+                    bb = b_buckets[bc & ring_mask]
+                    if not bb:
+                        heappush(ev_heap, (bc << 2) | 2)
+                    bb.append((t, ep, 1))
+                    if ctrl_col[t]:
+                        cmp_ep[t] = -1  # completes via an exact-cycle event
+                        cc = bc + exec_offset
+                        cb = c_buckets[cc & ring_mask]
+                        if not cb:
+                            heappush(ev_heap, (cc << 2) | 3)
+                        cb.append((t, ep))
+                    else:
+                        cmp_c[t] = bc + exec_offset
+                        cmp_ep[t] = ep
+
+            # ---- phase 3: dispatch -----------------------------------
+            if fr_arr and fr_arr[0] <= now:
+                dispatched = 0
+                rename_tokens = width if half_rename else _NEVER
+                while (
+                    fr_arr and fr_arr[0] <= now and dispatched < width
+                ):
+                    t = fr_tag[0]
+                    if len(rob_dq) >= ruu_size:
+                        break
+                    is_load = load_col[t]
+                    is_mem = is_load or store_col[t]
+                    if is_mem and len(lsq_dq) >= lsq_size:
+                        break
+                    nop = nop_col[t]
+                    if half_rename and not nop:
+                        needed = len(deps_col[t])
+                        if needed < 1:
+                            needed = 1
+                        if needed > rename_tokens:
+                            s_rename_stalls += 1
+                            break
+                        rename_tokens -= needed
+                    fr_arr.popleft()
+                    fr_tag.popleft()
+                    # ---- _insert (inlined) ----
+                    if nop:
+                        st[t] = 2
+                        rob_dq.append(t)
+                        s_dispatched += 1
+                    else:
+                        b = t << 1
+                        nsrc = 0
+                        n_rai = 0
+                        for arch in deps_col[t]:
+                            # _rename_sources
+                            i = b + nsrc
+                            nsrc += 1
+                            pt = rename_tbl.get(arch)
+                            if pt is None or not sb_alive[pt]:
+                                # architectural value: producer committed
+                                o_rdy[i] = 1
+                                o_rai[i] = 1
+                                n_rai += 1
+                            elif sb_valid[pt] and sb_bc[pt] != -1 and (
+                                sb_bc[pt] <= now
+                            ):
+                                # ready at insert; the tag reference is
+                                # kept for the invalidation cascade
+                                o_tag[i] = pt
+                                o_rdy[i] = 1
+                                o_rai[i] = 1
+                                n_rai += 1
+                            else:
+                                o_tag[i] = pt
+                        nops_a[t] = nsrc
+                        rai_a[t] = n_rai
+                        sb_alive[t] = 1  # Scoreboard.allocate
+                        for j in range(nsrc):
+                            pt = o_tag[b + j]
+                            if pt != -1 and sb_alive[pt]:
+                                enc = (t << 2) | (j + 1)
+                                clist = cons[pt]
+                                if clist is None:
+                                    cons[pt] = [enc]
+                                else:
+                                    clist.append(enc)
+                        dest = dest_col[t]
+                        if dest is not None:
+                            rename_tbl[dest] = t
+                        if nsrc == 2 and p_tab[pc_col[t] & p_mask] <= p_mid:
+                            # assign_sides: predicted-last == fast side
+                            # (arrays default to RIGHT, the static policy)
+                            fastside_a[t] = 0
+                        elig[t] = now + 1
+                        rob_dq.append(t)
+                        if is_mem:
+                            if is_load:
+                                # _setup_load_forwarding
+                                best = store_line.get(addr_col[t] & -8, -1)
+                                if best != -1:
+                                    fwd_a[t] = 1
+                                    if st[best] == 0:
+                                        mdt[t] = best
+                                        mdr[t] = 0
+                                        enc = t << 2  # op_index -1
+                                        clist = cons[best]
+                                        if clist is None:
+                                            cons[best] = [enc]
+                                        else:
+                                            clist.append(enc)
+                            else:
+                                store_line[addr_col[t] & -8] = t
+                            lsq_dq.append(t)
+                        # record_dispatch
+                        s_dispatched += 1
+                        if nsrc == 2:
+                            s_two_src += 1
+                            if n_rai == 0:
+                                s_rai0 += 1
+                            elif n_rai == 1:
+                                s_rai1 += 1
+                            else:
+                                s_rai2 += 1
+                        # _maybe_ready (fresh entry: WAITING, replays 0)
+                        if mdr[t]:
+                            if tag_elim_mode and nsrc == 2:
+                                is_rdy = o_rdy[b + fastside_a[t]] == 1
+                            elif nsrc == 0:
+                                is_rdy = True
+                            elif not o_rdy[b]:
+                                is_rdy = False
+                            else:
+                                is_rdy = nsrc == 1 or o_rdy[b + 1] == 1
+                            if is_rdy:
+                                inrd[t] = 1
+                                ready.append(rkey[t])
+                    dispatched += 1
+
+            # ---- phase 4: fetch --------------------------------------
+            if now >= fetch_resume:
+                arrive = now + front_depth
+                fetched = 0
+                while fetched < width:
+                    t = pending_tag
+                    if t == -1:
+                        t = n_tags
+                        if t < n_pre:
+                            # decoded feed: ingest is free
+                            n_tags = t + 1
+                            pending_tag = t
+                        elif n_pre:
+                            feed_done = True
+                            fetch_resume = _NEVER
+                            break
+                        else:
+                            op = next(feed_iter, None)
+                            if op is None:
+                                feed_done = True
+                                fetch_resume = _NEVER
+                                break
+                            n_tags = t + 1
+                            if op.seq != t:
+                                raise SimulationError(
+                                    "vector backend needs dense program-"
+                                    f"order seq numbers (got {op.seq}, "
+                                    f"expected {t})"
+                                )
+                            if t >= cap:
+                                grow()
+                            ops_l.append(op)
+                            oc = op.op_class.idx
+                            pc_col.append(op.pc)
+                            ctrl_col.append(1 if op.is_control else 0)
+                            load_col.append(1 if op.is_load else 0)
+                            store_col.append(1 if op.is_store else 0)
+                            nop_col.append(1 if op.is_eliminated_nop else 0)
+                            dest_col.append(op.dest)
+                            deps_col.append(op.sched_deps)
+                            addr_col.append(op.mem_addr)
+                            rkey.append((rank_by_idx[oc] << _KEY_SHIFT) | t)
+                            latv.append(lat_by_idx[oc])
+                            poolv.append(pool_by_idx[oc])
+                            npipe.append(1 if nonpipe_by_idx[oc] else 0)
+                            pending_tag = t
+                    pc = pc_col[t]
+                    cached = line_cache_get(pc)
+                    if cached is None:
+                        address = (
+                            pc_address(pc) if pc_address is not None
+                            else pc * 4
+                        )
+                        line = address >> il1_shift
+                        line_cache[pc] = (line, address)
+                    else:
+                        line, address = cached
+                    if line != last_fetch_line:
+                        # inlined MemoryHierarchy.fetch
+                        last_fetch_line = line
+                        cset = il1_sets[line & il1_mask]
+                        c_il1a += 1
+                        if line in cset:
+                            c_il1h += 1
+                            cset.move_to_end(line)
+                        else:
+                            c_il1m += 1
+                            if len(cset) >= il1_assoc:
+                                cset.popitem(last=False)
+                                c_il1e += 1
+                            cset[line] = False
+                            l2line = address >> l2_shift
+                            cset = l2_sets[l2line & l2_mask]
+                            c_l2a += 1
+                            if l2line in cset:
+                                c_l2h += 1
+                                cset.move_to_end(l2line)
+                                miss_lat = il1_lat + l2_lat
+                            else:
+                                c_l2m += 1
+                                if len(cset) >= l2_assoc:
+                                    cset.popitem(last=False)
+                                    c_l2e += 1
+                                cset[l2line] = False
+                                miss_lat = il1_lat + l2_lat + mem_lat
+                            fetch_resume = now + miss_lat
+                            break
+                    pending_tag = -1
+                    s_fetched += 1
+                    fetched += 1
+                    fr_arr.append(arrive)
+                    fr_tag.append(t)
+                    if ctrl_col[t]:
+                        # _fetch_control
+                        op = ops_l[t]
+                        prediction = branch_predict(
+                            pc, op.opcode, op.static_target
+                        )
+                        predictions[t] = prediction
+                        if prediction.next_pc(pc + 1) != op.next_pc:
+                            # mispredict: stall until the branch resolves
+                            fetch_blocked = t
+                            fetch_resume = _NEVER
+                            break
+                        if prediction.predicted_taken:
+                            break  # stop at the first taken branch
+
+            # ---- phase 5: commit -------------------------------------
+            if rob_dq:
+                committed_n = 0
+                while committed_n < width and rob_dq:
+                    t = rob_dq[0]
+                    hs = st[t]
+                    if hs != 2 and not (
+                        hs == 1
+                        and cmp_ep[t] == epoch[t]
+                        and cmp_c[t] <= now
+                    ):
+                        break
+                    rob_dq.popleft()
+                    if store_col[t]:
+                        # inlined MemoryHierarchy.store (write-allocate);
+                        # LSQ entries leave in program order, so the head
+                        # is always the committing op
+                        lsq_dq.popleft()
+                        addr = addr_col[t]
+                        line8 = addr & -8
+                        if store_line.get(line8) == t:
+                            del store_line[line8]
+                        line = addr >> dl1_shift
+                        cset = dl1_sets[line & dl1_mask]
+                        c_dl1a += 1
+                        if line in cset:
+                            c_dl1h += 1
+                            cset.move_to_end(line)
+                            cset[line] = True
+                        else:
+                            c_dl1m += 1
+                            if len(cset) >= dl1_assoc:
+                                cset.popitem(last=False)
+                                c_dl1e += 1
+                            cset[line] = True
+                            l2line = addr >> l2_shift
+                            cset = l2_sets[l2line & l2_mask]
+                            c_l2a += 1
+                            if l2line in cset:
+                                c_l2h += 1
+                                cset.move_to_end(l2line)
+                                cset[l2line] = True
+                            else:
+                                c_l2m += 1
+                                if len(cset) >= l2_assoc:
+                                    cset.popitem(last=False)
+                                    c_l2e += 1
+                                cset[l2line] = True
+                    elif load_col[t]:
+                        lsq_dq.popleft()
+                    dest = dest_col[t]
+                    if dest is not None and rename_tbl.get(dest) == t:
+                        rename_tbl[dest] = None
+                    sb_alive[t] = 0  # Scoreboard.free
+                    cons[t] = None
+                    rc = rfcat[t]
+                    if rc:
+                        if rc == 1:
+                            s_rf_two += 1
+                        elif rc == 2:
+                            s_rf_b2b += 1
+                        else:
+                            s_rf_nb += 1
+                    s_committed += 1
+                    total_committed += 1
+                    last_commit = now
+                    committed_n += 1
+
+            # ---- bookkeeping and loop exits --------------------------
+            s_cycles += 1
+            if not measured_started and total_committed >= warmup:
+                flush_stats()
+                stats.reset_window()
+                measured_started = True
+            if total_committed >= budget:
+                break
+            if feed_done and not fr_arr and not rob_dq:
+                break
+            if now - last_commit > _WATCHDOG_CYCLES:
+                flush_stats()
+                flush_mem()
+                self.now = now
+                self._total_committed = total_committed
+                if rob_dq:
+                    head = rob_dq[0]
+                    head_repr = f"tag {head} {ops_l[head].opcode}"
+                else:
+                    head_repr = "None"
+                error = SimulationError(
+                    f"no commit for {_WATCHDOG_CYCLES} cycles at cycle "
+                    f"{now} (head={head_repr})"
+                )
+                error.cycle = now
+                raise error
+
+            # ---- fast-forward over provably dead cycles --------------
+            # Dead: nothing ready, ROB head not committable, no frontend
+            # arrival, fetch unable to run.  Every way out of that state
+            # is in the event heap or has a known cycle below.
+            if (
+                not ready
+                and (not rob_dq or st[rob_dq[0]] != 2)
+                and (not fr_arr or fr_arr[0] > now + 1)
+                and fetch_resume > now + 1
+            ):
+                target = last_commit + _WATCHDOG_CYCLES + 1
+                if rob_dq:
+                    h = rob_dq[0]
+                    # a lazily-completing head bounds the jump (its
+                    # completion is not in the event heap); a cmp_c that
+                    # is already due keeps target <= now+1, i.e. no skip
+                    if st[h] == 1 and cmp_ep[h] == epoch[h]:
+                        c = cmp_c[h]
+                        if c < target:
+                            target = c
+                if fr_arr:
+                    c = fr_arr[0]
+                    if c < target:
+                        target = c
+                if fetch_resume < target:
+                    target = fetch_resume
+                if ev_heap:
+                    c = ev_heap[0] >> 2
+                    if c < target:
+                        target = c
+                if target > now + 1:
+                    s_cycles += target - now - 1
+                    now = target - 1
+                    # select bubbles and FU begin-cycle bookkeeping are
+                    # keyed on absolute cycles, so skipping needs no reset
+
+        # ==============================================================
+        flush_stats()
+        flush_mem()
+        self.now = now
+        self._total_committed = total_committed
+        self._sel_slots_taken = sel_slots_taken
+        self._sel_bubbles = sel_bubbles
+        self._rf_rejections = rf_rejections
+        self._rf_seq_decisions = rf_seq_decisions
+        self.wall_seconds = perf_counter() - t_start
+        return SimulationResult(
+            config_name=config.name,
+            workload_name=getattr(self.feed, "name", "workload"),
+            stats=stats,
+            total_committed=total_committed,
+            total_cycles=now,
+        )
+
+    # ==================================================================
+    def publish_metrics(self, registry) -> None:
+        """Publish finished counters, mirroring Processor.publish_metrics."""
+        self.stats.publish_metrics(registry)
+        registry.counter("select.slots_taken").set(self._sel_slots_taken)
+        registry.counter("select.bubbles_scheduled").set(self._sel_bubbles)
+        registry.counter("regfile.crossbar_rejections").set(
+            self._rf_rejections
+        )
+        registry.counter("regfile.sequential_decisions").set(
+            self._rf_seq_decisions
+        )
+        for level in ("il1", "dl1", "l2"):
+            cache_stats = getattr(self.memory, level).stats
+            registry.counter(f"mem.{level}.accesses").set(cache_stats.accesses)
+            registry.counter(f"mem.{level}.hits").set(cache_stats.hits)
+            registry.counter(f"mem.{level}.misses").set(cache_stats.misses)
+            registry.counter(f"mem.{level}.evictions").set(
+                cache_stats.evictions
+            )
+        registry.counter("sim.matrix_mismatches").set(self.matrix_mismatches)
+        registry.counter("sim.now_cycles").set(self.now)

@@ -203,6 +203,12 @@ class MachineConfig:
     #: mismatch counter stays zero for bus-delivered wakeup schemes and
     #: exposes tag elimination's incompatibility, Section 3.1)
     use_dependence_matrix: bool = False
+    #: cycle-loop backend: "python" (reference Processor) or "vector"
+    #: (struct-of-arrays engine, bit-identical stats, needs numpy).  Not
+    #: part of the timing model — it never appears in variant names — but
+    #: it IS part of the result-cache fingerprint, so cached results are
+    #: never served across backends.
+    backend: str = "python"
 
     def __post_init__(self):
         if self.width <= 0 or self.ruu_size <= 0 or self.lsq_size <= 0:
@@ -214,6 +220,11 @@ class MachineConfig:
             or self.predictor_entries & (self.predictor_entries - 1)
         ):
             raise ConfigurationError(f"{self.name}: predictor entries must be 2^n")
+        if self.backend not in ("python", "vector"):
+            raise ConfigurationError(
+                f"{self.name}: unknown backend {self.backend!r} "
+                "(known: python, vector)"
+            )
 
     # ------------------------------------------------------------------
     @property

@@ -306,10 +306,15 @@ class Processor:
             if self._feed_done and not frontend and rob.empty:
                 break
             if self.now - self._last_commit_cycle > _WATCHDOG_CYCLES:
-                raise SimulationError(
+                error = SimulationError(
                     f"no commit for {_WATCHDOG_CYCLES} cycles at cycle {self.now} "
                     f"(head={self.rob.head()!r})"
                 )
+                # Deadlock *cycle* is part of the cross-backend parity
+                # surface (messages differ in head formatting, the cycle
+                # must not).
+                error.cycle = self.now
+                raise error
         return SimulationResult(
             config_name=self.config.name,
             workload_name=getattr(self.feed, "name", "workload"),

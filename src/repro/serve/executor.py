@@ -23,6 +23,7 @@ import threading
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.runner import ExperimentRunner
+from repro.fastsim import apply_backend
 from repro.obs.export import build_stats_export
 from repro.serve.protocol import JobSpec, RunSpec, VerifySpec
 
@@ -77,7 +78,10 @@ class JobExecutor:
 
     def _execute_run(self, spec: RunSpec) -> dict:
         runner = self.runner_for(spec.insts, spec.warmup)
-        config = spec.config()
+        # Materialized here (not just inside the runner) so the exported
+        # document's config/fingerprint match the run when a server-side
+        # REPRO_BACKEND overrides the spec's choice.
+        config = apply_backend(spec.config())
         result = runner.result(spec.benchmark, config, shadow=spec.shadow, seed=spec.seed)
         document = build_stats_export(
             result,

@@ -103,6 +103,12 @@ class RunSpec:
     warmup: int = 20_000
     shadow: bool = False
     priority: int = 0
+    #: cycle-loop backend the job asks for ("python"/"vector"); part of the
+    #: config and therefore of the fingerprint, so coalescing and cached
+    #: results never cross backends.  A server-side ``REPRO_BACKEND``
+    #: override still wins inside the runner (stats are bit-identical
+    #: either way — only cache locality differs).
+    backend: str = "python"
 
     kind = "run"
 
@@ -122,6 +128,8 @@ class RunSpec:
             techniques["predictor_entries"] = None
         if techniques:
             config = config.with_techniques(**techniques)
+        if self.backend != config.backend:
+            config = dataclasses.replace(config, backend=self.backend)
         return config
 
     @property
@@ -191,6 +199,7 @@ _RUN_KEYS = frozenset(
         "warmup",
         "shadow",
         "priority",
+        "backend",
     )
 )
 _VERIFY_KEYS = frozenset(("kind", "source", "configs", "budget", "priority"))
@@ -205,6 +214,11 @@ def _parse_run(payload: dict) -> RunSpec:
     )
     width = payload.get("width", 4)
     _require(width in (4, 8), "width must be 4 or 8")
+    backend = payload.get("backend", "python")
+    _require(
+        backend in ("python", "vector"),
+        f"unknown backend {backend!r} (known: python, vector)",
+    )
     spec = RunSpec(
         benchmark=benchmark,
         width=width,
@@ -218,6 +232,7 @@ def _parse_run(payload: dict) -> RunSpec:
         warmup=_get_int(payload, "warmup", 20_000, minimum=0),
         shadow=_get_bool(payload, "shadow", False),
         priority=_get_int(payload, "priority", 0, minimum=-(10**6)),
+        backend=backend,
     )
     spec.config()  # surface ConfigurationError-shaped problems as 400s
     return spec

@@ -28,6 +28,7 @@ from repro.verify.fuzz import (
     FuzzFailure,
     FuzzReport,
     check_source,
+    check_source_cross_backend,
     config_matrix,
     replay_corpus,
     run_fuzz,
@@ -52,6 +53,7 @@ __all__ = [
     "REPRO_SUFFIX",
     "ReproCase",
     "check_source",
+    "check_source_cross_backend",
     "config_matrix",
     "count_instructions",
     "generate_source",

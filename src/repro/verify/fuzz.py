@@ -24,6 +24,7 @@ elimination — each under non-selective and selective recovery.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
@@ -35,6 +36,8 @@ from repro.errors import (
     SimulationError,
     VerificationError,
 )
+from repro.analysis.cache import serialize_result
+from repro.fastsim import make_processor, numpy_available
 from repro.isa.assembler import assemble
 from repro.isa.emulator import Emulator
 from repro.pipeline.config import (
@@ -208,15 +211,81 @@ def check_source(
     return None
 
 
+def _first_divergence(left: str, right: str) -> str:
+    """Locate the first differing leaf between two stats-export payloads."""
+    try:
+        tree_l, tree_r = json.loads(left), json.loads(right)
+    except (TypeError, json.JSONDecodeError):
+        return f"python={left!r} vector={right!r}"
+
+    def walk(a, b, path):
+        if isinstance(a, dict) and isinstance(b, dict):
+            for key in sorted(set(a) | set(b)):
+                hit = walk(a.get(key), b.get(key), f"{path}.{key}")
+                if hit:
+                    return hit
+            return None
+        if a != b:
+            return f"{path or '<root>'}: python={a!r} vector={b!r}"
+        return None
+
+    return walk(tree_l, tree_r, "") or "payloads differ"
+
+
+def check_source_cross_backend(
+    source: str, config: MachineConfig, budget: int = DEFAULT_BUDGET
+) -> FuzzFailure | None:
+    """Run one program on both backends and diff the stats exports.
+
+    Each backend simulates the same :class:`EmulatorFeed` with no checker
+    attached (the vector backend has none), and the full serialized result
+    — the exact payload the result cache and serve layer persist — is
+    compared byte-for-byte as canonical JSON.  A watchdog deadlock is a
+    legal *matching* outcome as long as both backends deadlock at the same
+    cycle; any other asymmetry is a ``backend-divergence`` failure.
+    """
+    program = assemble(source)
+    golden = Emulator(program)
+    steps = golden.run(max_steps=budget)
+    dynamic = steps - 1
+
+    exports: dict[str, str] = {}
+    for backend in ("python", "vector"):
+        processor = make_processor(
+            EmulatorFeed(program), config, backend=backend
+        )
+        try:
+            result = processor.run(max_insts=dynamic + _COMMIT_SLACK, warmup=0)
+        except SimulationError as exc:
+            exports[backend] = json.dumps(
+                {"deadlock_cycle": getattr(exc, "cycle", None)}, sort_keys=True
+            )
+            continue
+        exports[backend] = json.dumps(serialize_result(result), sort_keys=True)
+    if exports["python"] == exports["vector"]:
+        return None
+    return FuzzFailure(
+        kind="backend-divergence",
+        config_name=config.name,
+        message=_first_divergence(exports["python"], exports["vector"]),
+        source=source,
+    )
+
+
 def _shrink_failure(
     original: FuzzFailure, config: MachineConfig, budget: int
 ) -> str | None:
     """Minimize a failing program; None if the failure will not re-fire."""
     kind = original.kind
+    check = (
+        check_source_cross_backend
+        if kind == "backend-divergence"
+        else check_source
+    )
 
     def still_fails(candidate: str) -> bool:
         try:
-            result = check_source(candidate, config, budget)
+            result = check(candidate, config, budget)
         except (AssemblyError, EmulationError):
             return False  # candidate no longer assembles or halts
         return result is not None and result.kind == kind
@@ -255,6 +324,7 @@ def run_fuzz(
     max_failures: int = 5,
     raw_seeds: Iterable[int] | None = None,
     progress: Callable[[int, int], None] | None = None,
+    cross_backend: bool = False,
 ) -> FuzzReport:
     """Fuzz *programs* random programs across the configuration matrix.
 
@@ -264,7 +334,17 @@ def run_fuzz(
     overrides the derivation with explicit generator seeds.  Failures are
     shrunk (unless *shrink* is false) and written to *corpus_dir* when
     given; fuzzing stops early after *max_failures* distinct failures.
+
+    With *cross_backend*, every (program, config) case instead runs on both
+    cycle-loop backends and diffs the serialized results byte-for-byte
+    (:func:`check_source_cross_backend`) — the bit-parity gate for the
+    vector backend.
     """
+    if cross_backend and not numpy_available():
+        raise ConfigurationError(
+            "backend 'vector' needs numpy; install it with pip install -e .[fast]"
+        )
+    check = check_source_cross_backend if cross_backend else check_source
     matrix = list(configs) if configs is not None else config_matrix()
     if raw_seeds is not None:
         seeds = list(raw_seeds)
@@ -275,7 +355,7 @@ def run_fuzz(
     for index, gen_seed in enumerate(seeds):
         source = generate_source(gen_seed, knobs)
         for config in matrix:
-            result = check_source(source, config, budget)
+            result = check(source, config, budget)
             checked += 1
             if result is None:
                 continue

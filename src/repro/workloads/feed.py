@@ -65,6 +65,82 @@ def collect_stream(stream: Iterable[DynOp], limit: int) -> list[DynOp]:
     return list(itertools.islice(iter(stream), limit))
 
 
+def decode_columns(ops: list[DynOp]) -> dict:
+    """Decode static per-instruction facts into flat parallel columns.
+
+    The vector backend indexes every per-instruction array by the dense
+    instruction tag, which equals the op's position in the stream — hence
+    the density check.  Booleans are stored as 0/1 ints so the hot loop
+    avoids attribute lookups and bool boxing; ``deps`` keeps references to
+    the original ``sched_deps`` tuples.
+    """
+    for i, op in enumerate(ops):
+        if op.seq != i:
+            raise ValueError(
+                "decode_columns needs dense program-order seq numbers "
+                f"(got {op.seq} at position {i})"
+            )
+    return {
+        "ocls": [op.op_class.idx for op in ops],
+        "pc": [op.pc for op in ops],
+        "ctrl": [1 if op.is_control else 0 for op in ops],
+        "load": [1 if op.is_load else 0 for op in ops],
+        "store": [1 if op.is_store else 0 for op in ops],
+        "nop": [1 if op.is_eliminated_nop else 0 for op in ops],
+        "dest": [op.dest for op in ops],
+        "deps": [op.sched_deps for op in ops],
+        "addr": [op.mem_addr for op in ops],
+    }
+
+
+class ReplayFeed:
+    """Reusable pre-materialized stream with a decode cache.
+
+    Wraps a list of :class:`DynOp` in program order.  Iterating replays the
+    list, so any backend accepts it like a regular stream; the vector
+    backend additionally recognizes the materialized ``ops`` list and the
+    :meth:`columns` decode cache, making this the "decode once, simulate
+    many" feed for benchmarks, sweeps and serve traffic.
+
+    ``pc_address`` must be forwarded from the source feed when that feed
+    defines one (the instruction-cache access pattern depends on it).
+    """
+
+    def __init__(self, ops: Iterable[DynOp], name: str = "replay", pc_address=None):
+        self.ops = list(ops)
+        self.name = name
+        if pc_address is not None:
+            self.pc_address = pc_address
+        self._columns: dict | None = None
+
+    @classmethod
+    def from_stream(
+        cls, stream: Iterable[DynOp], limit: int | None = None
+    ) -> "ReplayFeed":
+        ops = (
+            list(iter(stream))
+            if limit is None
+            else collect_stream(stream, limit)
+        )
+        return cls(
+            ops,
+            name=getattr(stream, "name", "replay"),
+            pc_address=getattr(stream, "pc_address", None),
+        )
+
+    def __iter__(self) -> Iterator[DynOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def columns(self) -> dict:
+        """Flat decoded columns (see :func:`decode_columns`), cached."""
+        if self._columns is None:
+            self._columns = decode_columns(self.ops)
+        return self._columns
+
+
 @dataclass
 class StreamStats:
     """Machine-independent stream characterization (Figures 2 and 3).

@@ -1,0 +1,140 @@
+"""Bit-parity of the vector backend against the reference Processor.
+
+The heavyweight gate is ``repro fuzz --cross-backend`` (random programs,
+full config matrix); these tests pin a fast deterministic slice of the
+same contract in tier-1: identical serialized results — every counter,
+histogram and predictor-bank count — on representative machine variants,
+plus the cross-backend fuzz plumbing itself.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import serialize_result
+from repro.fastsim import make_processor, numpy_available
+from repro.pipeline.config import (
+    EIGHT_WIDE,
+    FOUR_WIDE,
+    BypassModel,
+    RecoveryModel,
+    RegFileModel,
+    RenameModel,
+    SchedulerModel,
+)
+from repro.workloads.feed import EmulatorFeed, ReplayFeed
+from repro.workloads.kernels import kernel_program
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="vector backend needs numpy"
+)
+
+_VARIANTS = {
+    "base": FOUR_WIDE,
+    "seq-wakeup+sel": FOUR_WIDE.with_techniques(
+        scheduler=SchedulerModel.SEQ_WAKEUP, recovery=RecoveryModel.SELECTIVE
+    ),
+    "tag-elim": FOUR_WIDE.with_techniques(scheduler=SchedulerModel.TAG_ELIM),
+    "kitchen-sink": FOUR_WIDE.with_techniques(
+        scheduler=SchedulerModel.SEQ_WAKEUP,
+        regfile=RegFileModel.SEQUENTIAL,
+        rename=RenameModel.HALF_PORTS,
+        bypass=BypassModel.HALF,
+        recovery=RecoveryModel.SELECTIVE,
+    ),
+    "8-wide": EIGHT_WIDE,
+}
+
+
+def _payload(processor, insts, warmup):
+    result = processor.run(max_insts=insts, warmup=warmup)
+    return json.dumps(serialize_result(result), sort_keys=True)
+
+
+def _assert_parity(make_feed, config, insts=1_200, warmup=0, shadow=None):
+    payloads = {}
+    for backend in ("python", "vector"):
+        processor = make_processor(
+            make_feed(), config, backend=backend, shadow_sizes=shadow
+        )
+        payloads[backend] = _payload(processor, insts, warmup)
+    assert payloads["python"] == payloads["vector"]
+
+
+@pytest.mark.parametrize("name", sorted(_VARIANTS))
+def test_synthetic_workload_parity(name):
+    config = _VARIANTS[name]
+    _assert_parity(
+        lambda: SyntheticWorkload(get_profile("gzip"), seed=3), config
+    )
+
+
+def test_parity_with_warmup_and_shadow_bank():
+    _assert_parity(
+        lambda: SyntheticWorkload(get_profile("gcc"), seed=7),
+        FOUR_WIDE,
+        warmup=200,
+        shadow=(64, 256),
+    )
+
+
+def test_emulator_feed_parity():
+    """The generator ingest path (no decoded columns) is also bit-exact."""
+    program = kernel_program("pointer_chase")
+    _assert_parity(lambda: EmulatorFeed(program, name="pointer_chase"), FOUR_WIDE)
+
+
+def test_replay_feed_decoded_columns_parity():
+    """Pre-decoded ReplayFeed (the fast path) matches the reference too."""
+    workload = SyntheticWorkload(get_profile("vortex"), seed=5)
+    feed = ReplayFeed.from_stream(workload, 1_600)
+    feed.columns()
+    _assert_parity(lambda: feed_copy(feed), FOUR_WIDE)
+
+
+def feed_copy(feed):
+    """Fresh ReplayFeed over the same ops (processors consume feeds once)."""
+    clone = ReplayFeed(
+        feed.ops, name=feed.name, pc_address=getattr(feed, "pc_address", None)
+    )
+    clone.columns()
+    return clone
+
+
+def test_vector_backend_is_single_run():
+    workload = SyntheticWorkload(get_profile("gzip"), seed=3)
+    processor = make_processor(workload, FOUR_WIDE, backend="vector")
+    processor.run(max_insts=300, warmup=0)
+    with pytest.raises(Exception, match="single-run"):
+        processor.run(max_insts=300, warmup=0)
+
+
+def test_cross_backend_fuzz_smoke():
+    """A short cross-backend fuzz session through the real orchestration."""
+    from repro.verify.fuzz import config_matrix, run_fuzz
+
+    report = run_fuzz(
+        3,
+        seed=11,
+        configs=config_matrix(names=["base", "tag-elim+sel"]),
+        cross_backend=True,
+    )
+    assert report.ok, report.summary()
+    assert report.checked == 3 * 3  # 3 programs x (base x2 recoveries + 1)
+
+
+def test_runner_serves_both_backends_identically(monkeypatch, tmp_path):
+    """REPRO_BACKEND flows through the runner; stats stay bit-identical."""
+    from repro.analysis.runner import ExperimentRunner
+
+    payloads = {}
+    for backend in ("python", "vector"):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        runner = ExperimentRunner(
+            insts=800, warmup=200, seed=3, benchmarks=("gzip",), cache=False
+        )
+        result = runner.result("gzip", FOUR_WIDE)
+        payloads[backend] = json.dumps(serialize_result(result), sort_keys=True)
+    assert payloads["python"] == payloads["vector"]

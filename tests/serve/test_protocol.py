@@ -118,3 +118,33 @@ class TestBatch:
     def test_non_object_rejected(self):
         with pytest.raises(ProtocolError, match="JSON object"):
             parse_batch([1, 2])
+
+
+class TestBackendField:
+    def test_default_backend_is_python(self):
+        spec = parse_spec({"benchmark": "gzip"})
+        assert spec.backend == "python"
+        assert spec.config().backend == "python"
+
+    def test_backend_round_trips_through_wire(self):
+        spec = parse_spec({"benchmark": "gzip", "backend": "vector"})
+        assert spec.backend == "vector"
+        assert spec.config().backend == "vector"
+        assert parse_spec(spec.as_wire()) == spec
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown backend"):
+            parse_spec({"benchmark": "gzip", "backend": "cuda"})
+
+    def test_backend_changes_fingerprint(self):
+        """Coalescing and cached results must never cross backends."""
+        python = parse_spec({"benchmark": "gzip", "backend": "python"})
+        vector = parse_spec({"benchmark": "gzip", "backend": "vector"})
+        assert python.fingerprint() != vector.fingerprint()
+
+    def test_backend_fingerprint_matches_cache_digest(self):
+        spec = parse_spec({"benchmark": "gzip", "backend": "vector"})
+        expected = cache_fingerprint(
+            "gzip", spec.seed, spec.insts, spec.warmup, spec.config(), None
+        )
+        assert spec.fingerprint() == expected
