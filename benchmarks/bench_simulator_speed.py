@@ -11,7 +11,12 @@ import pytest
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.parallel import Job, execute_job, run_jobs
-from repro.fastsim import BACKENDS, make_processor, numpy_available
+from repro.fastsim import (
+    BACKENDS,
+    make_processor,
+    native_available,
+    numpy_available,
+)
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.config import FOUR_WIDE
 from repro.workloads.feed import ReplayFeed, collect_stream
@@ -23,7 +28,7 @@ from repro.workloads.synthetic import SyntheticWorkload
 def test_speed_processor_cycle_loop(benchmark, backend):
     """Cycle-loop cost per 2k-instruction run, one row per backend.
 
-    Times ``run()`` alone, symmetrically for both backends: the stream is
+    Times ``run()`` alone, symmetrically for every backend: the stream is
     pre-materialized into a :class:`ReplayFeed` with the decode cache
     warmed, and the processor is constructed in the per-round setup —
     construction (branch-predictor table init) is not the cycle loop.
@@ -31,6 +36,11 @@ def test_speed_processor_cycle_loop(benchmark, backend):
     """
     if backend == "vector" and not numpy_available():
         pytest.skip("vector backend needs numpy (pip install -e .[fast])")
+    if backend == "native" and not native_available():
+        pytest.skip(
+            "native backend needs the compiled extension "
+            "(pip install -e .[native])"
+        )
     workload = SyntheticWorkload(get_profile("gzip"), seed=3)
     feed = ReplayFeed.from_stream(workload, 2_600)
     feed.columns()  # decode outside the timed region

@@ -4,10 +4,19 @@
 #
 #   results/ci_baseline/python/   reference Processor
 #   results/ci_baseline/vector/   repro.fastsim vector backend (needs numpy)
+#   results/ci_baseline/native/   compiled C-extension backend (needs a
+#                                 built repro.fastsim._native artifact)
 #
-# The two trees differ only in the embedded config.backend field and the
+# The trees differ only in the embedded config.backend field and the
 # fingerprint — every simulated counter is bit-identical (pinned by the
 # cross-backend fuzz gate).
+#
+# A backend whose prerequisite is missing is SKIPPED WITH A LOUD WARNING
+# and listed in the summary below — a partial regeneration must never
+# look complete.  CI's regression gate covers all three subtrees, so a
+# baseline refresh intended for CI needs all three present (install
+# numpy via `pip install -e .[fast]` and build the extension via
+# `pip install -e .[native]` first).
 #
 # Run this after an INTENTIONAL timing-model change, eyeball the diff of
 # results/ci_baseline/, and commit it together with the model change.  The
@@ -32,12 +41,39 @@ if [[ "$ci_benchmarks" != "$BENCHMARKS" || "$ci_args" != "$ARGS" ]]; then
   exit 1
 fi
 
+backend_ready() {
+  case "$1" in
+    python) return 0 ;;
+    vector) PYTHONPATH=src python -c 'import numpy' 2>/dev/null ;;
+    native) PYTHONPATH=src python -c \
+      'import sys; from repro.fastsim import native_available; sys.exit(0 if native_available() else 1)' ;;
+  esac
+}
+
 rm -rf results/ci_baseline
-for backend in python vector; do
+baselined=()
+skipped=()
+for backend in python vector native; do
+  if ! backend_ready "$backend"; then
+    skipped+=("$backend")
+    case "$backend" in
+      vector) hint="pip install -e .[fast]" ;;
+      native) hint="pip install -e .[native]  (needs a C compiler)" ;;
+      *) hint="" ;;
+    esac
+    echo "WARNING: skipping backend '$backend' — not installed here ($hint)" >&2
+    continue
+  fi
   PYTHONPATH=src REPRO_BACKEND=$backend python -m repro export-stats $BENCHMARKS \
     $ARGS --jobs 1 \
     --out "results/ci_baseline/$backend"
+  baselined+=("$backend")
 done
 
-echo "Baseline regenerated:"
+echo "Baseline regenerated."
+echo "  baselined: ${baselined[*]}"
+if ((${#skipped[@]})); then
+  echo "  SKIPPED:   ${skipped[*]}  (CI gates all three backends;"
+  echo "             do not commit a partial baseline for a CI refresh)"
+fi
 ls -lR results/ci_baseline

@@ -235,6 +235,9 @@ def _cmd_fuzz(args) -> int:
 
     config_names = None if args.configs == "all" else args.configs.split(",")
     configs = config_matrix(names=config_names)
+    if args.backends is not None and not args.cross_backend:
+        print("error: --backends requires --cross-backend", file=sys.stderr)
+        return 2
     if args.replay is not None:
         from pathlib import Path
 
@@ -266,6 +269,9 @@ def _cmd_fuzz(args) -> int:
             raw_seeds=raw_seeds,
             progress=progress if not args.quiet else None,
             cross_backend=args.cross_backend,
+            backends=(
+                args.backends.split(",") if args.backends is not None else None
+            ),
         )
     print(report.summary())
     for failure in report.failures:
@@ -547,8 +553,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_parser.add_argument(
         "--cross-backend", action="store_true",
-        help="run every program on both cycle-loop backends and diff the "
-        "serialized stats byte-for-byte (the vector-backend parity gate)",
+        help="run every program on all compared cycle-loop backends and diff "
+        "the serialized stats byte-for-byte (the vector/native parity gate)",
+    )
+    fuzz_parser.add_argument(
+        "--backends", default=None, metavar="NAMES",
+        help="comma-separated backend set for --cross-backend, e.g. "
+        "'python,vector,native'; every named backend must be installed "
+        "(default: every installed backend)",
     )
     fuzz_parser.add_argument(
         "--no-shrink", action="store_true",

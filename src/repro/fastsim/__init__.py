@@ -1,6 +1,6 @@
-"""Backend selection for the cycle loop: pure-Python vs vectorized SoA.
+"""Backend selection for the cycle loop: python, vector or native.
 
-Two interchangeable cycle-loop backends exist:
+Three interchangeable cycle-loop backends exist:
 
 * ``"python"`` — :class:`repro.pipeline.processor.Processor`, the reference
   implementation.  Supports every feature (lockstep checking, schedule
@@ -9,9 +9,17 @@ Two interchangeable cycle-loop backends exist:
   struct-of-arrays rewrite of the same timing model that stores scheduler
   state in flat preallocated arrays and fast-forwards over provably dead
   cycles.  Bit-identical statistics (the ``repro fuzz --cross-backend``
-  parity gate pins this), roughly an order of magnitude faster, but it
-  supports only plain simulation runs — no checker, trace, profiler or
-  dependence matrix.  Requires numpy (``pip install -e .[fast]``).
+  parity gate pins this), roughly 3.5× faster, but it supports only plain
+  simulation runs — no checker, trace, profiler or dependence matrix.
+  Requires numpy (``pip install -e .[fast]``).
+* ``"native"`` — :class:`repro.fastsim.native.NativeProcessor`, the same
+  struct-of-arrays cycle loop compiled as a C extension
+  (``repro.fastsim._native``), with the stateful cold-path components
+  (branch unit, last-arrival predictor, shadow banks) shared with the
+  python backend through callbacks so the same parity gate pins it
+  byte-for-byte.  Same feature restrictions as ``vector``; needs the
+  compiled artifact (``pip install -e .[native]``, requires a C
+  compiler) but *not* numpy.
 
 Selection precedence: an explicit ``--backend`` flag beats the
 ``REPRO_BACKEND`` environment variable, which beats the config's
@@ -35,7 +43,7 @@ from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import Processor
 
 #: Known cycle-loop backends, in documentation order.
-BACKENDS = ("python", "vector")
+BACKENDS = ("python", "vector", "native")
 
 #: Environment variable consulted when no explicit backend is given.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -48,6 +56,23 @@ def numpy_available() -> bool:
     except ImportError:
         return False
     return True
+
+
+def native_available() -> bool:
+    """Is the compiled ``_native`` extension importable and ABI-compatible?"""
+    from repro.fastsim.native import native_available as probe
+
+    return probe()
+
+
+def available_backends() -> tuple[str, ...]:
+    """The subset of :data:`BACKENDS` that can actually run here."""
+    out = ["python"]
+    if numpy_available():
+        out.append("vector")
+    if native_available():
+        out.append("native")
+    return tuple(out)
 
 
 def resolve_backend(
@@ -94,10 +119,10 @@ def make_processor(
 ):
     """Build the processor the resolved backend asks for.
 
-    The vector backend rejects (with a clean :class:`ConfigurationError`)
-    every feature that needs per-entry object state: lockstep checking,
-    schedule traces, the stage profiler and the dependence-matrix
-    cross-check all remain python-backend only.
+    The vector and native backends reject (with a clean
+    :class:`ConfigurationError`) every feature that needs per-entry object
+    state: lockstep checking, schedule traces, the stage profiler and the
+    dependence-matrix cross-check all remain python-backend only.
     """
     resolved = resolve_backend(backend, config)
     if resolved == "python":
@@ -120,9 +145,18 @@ def make_processor(
         unsupported = "the dependence-matrix cross-check"
     if unsupported is not None:
         raise ConfigurationError(
-            f"backend 'vector' does not support {unsupported}; "
+            f"backend {resolved!r} does not support {unsupported}; "
             "use the python backend for this run"
         )
+    if resolved == "native":
+        if not native_available():
+            raise ConfigurationError(
+                "backend 'native' needs the compiled extension; build it "
+                "with pip install -e .[native] (requires a C compiler)"
+            )
+        from repro.fastsim.native import NativeProcessor
+
+        return NativeProcessor(feed, config, shadow_sizes=shadow_sizes)
     if not numpy_available():
         raise ConfigurationError(
             "backend 'vector' needs numpy; install it with pip install -e .[fast]"

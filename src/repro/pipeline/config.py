@@ -203,11 +203,13 @@ class MachineConfig:
     #: mismatch counter stays zero for bus-delivered wakeup schemes and
     #: exposes tag elimination's incompatibility, Section 3.1)
     use_dependence_matrix: bool = False
-    #: cycle-loop backend: "python" (reference Processor) or "vector"
-    #: (struct-of-arrays engine, bit-identical stats, needs numpy).  Not
-    #: part of the timing model — it never appears in variant names — but
-    #: it IS part of the result-cache fingerprint, so cached results are
-    #: never served across backends.
+    #: cycle-loop backend: "python" (reference Processor), "vector"
+    #: (struct-of-arrays engine, bit-identical stats, needs numpy) or
+    #: "native" (the same loop compiled as a C extension, bit-identical
+    #: stats, needs the built artifact).  Not part of the timing model —
+    #: it never appears in variant names — but it IS part of the
+    #: result-cache fingerprint, so cached results are never served
+    #: across backends.
     backend: str = "python"
 
     def __post_init__(self):
@@ -220,10 +222,10 @@ class MachineConfig:
             or self.predictor_entries & (self.predictor_entries - 1)
         ):
             raise ConfigurationError(f"{self.name}: predictor entries must be 2^n")
-        if self.backend not in ("python", "vector"):
+        if self.backend not in ("python", "vector", "native"):
             raise ConfigurationError(
                 f"{self.name}: unknown backend {self.backend!r} "
-                "(known: python, vector)"
+                "(known: python, vector, native)"
             )
 
     # ------------------------------------------------------------------

@@ -103,7 +103,8 @@ class RunSpec:
     warmup: int = 20_000
     shadow: bool = False
     priority: int = 0
-    #: cycle-loop backend the job asks for ("python"/"vector"); part of the
+    #: cycle-loop backend the job asks for ("python"/"vector"/"native");
+    #: part of the
     #: config and therefore of the fingerprint, so coalescing and cached
     #: results never cross backends.  A server-side ``REPRO_BACKEND``
     #: override still wins inside the runner (stats are bit-identical
@@ -216,8 +217,8 @@ def _parse_run(payload: dict) -> RunSpec:
     _require(width in (4, 8), "width must be 4 or 8")
     backend = payload.get("backend", "python")
     _require(
-        backend in ("python", "vector"),
-        f"unknown backend {backend!r} (known: python, vector)",
+        backend in ("python", "vector", "native"),
+        f"unknown backend {backend!r} (known: python, vector, native)",
     )
     spec = RunSpec(
         benchmark=benchmark,

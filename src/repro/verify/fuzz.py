@@ -37,7 +37,13 @@ from repro.errors import (
     VerificationError,
 )
 from repro.analysis.cache import serialize_result
-from repro.fastsim import make_processor, numpy_available
+from repro.fastsim import (
+    BACKENDS,
+    available_backends,
+    make_processor,
+    native_available,
+    numpy_available,
+)
 from repro.isa.assembler import assemble
 from repro.isa.emulator import Emulator
 from repro.pipeline.config import (
@@ -151,15 +157,23 @@ class FuzzReport:
     #: individual (program, config) co-simulation runs executed
     checked: int
     failures: list[FuzzFailure] = field(default_factory=list)
+    #: backends compared per run on cross-backend sessions (None otherwise)
+    backends: tuple[str, ...] | None = None
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
     def summary(self) -> str:
+        gate = (
+            f" [cross-backend: {' vs '.join(self.backends)}]"
+            if self.backends
+            else ""
+        )
         lines = [
             f"fuzz: {self.programs} program(s) x {len(self.config_names)} "
-            f"config(s), {self.checked} runs, {len(self.failures)} failure(s)"
+            f"config(s), {self.checked} runs, "
+            f"{len(self.failures)} failure(s){gate}"
         ]
         for failure in self.failures:
             seed = f" seed={failure.seed}" if failure.seed is not None else ""
@@ -211,12 +225,14 @@ def check_source(
     return None
 
 
-def _first_divergence(left: str, right: str) -> str:
+def _first_divergence(
+    left: str, right: str, label_l: str = "python", label_r: str = "vector"
+) -> str:
     """Locate the first differing leaf between two stats-export payloads."""
     try:
         tree_l, tree_r = json.loads(left), json.loads(right)
     except (TypeError, json.JSONDecodeError):
-        return f"python={left!r} vector={right!r}"
+        return f"{label_l}={left!r} {label_r}={right!r}"
 
     def walk(a, b, path):
         if isinstance(a, dict) and isinstance(b, dict):
@@ -226,23 +242,69 @@ def _first_divergence(left: str, right: str) -> str:
                     return hit
             return None
         if a != b:
-            return f"{path or '<root>'}: python={a!r} vector={b!r}"
+            return f"{path or '<root>'}: {label_l}={a!r} {label_r}={b!r}"
         return None
 
     return walk(tree_l, tree_r, "") or "payloads differ"
 
 
+def resolve_cross_backends(
+    requested: Sequence[str] | None = None,
+) -> tuple[str, ...]:
+    """The backend set a cross-backend fuzz run compares.
+
+    With *requested* (e.g. from ``repro fuzz --backends``), every named
+    backend must be known and installed — CI legs pin the exact set so a
+    missing artifact fails loudly instead of silently narrowing the gate.
+    Without it, the gate covers every installed backend and refuses to run
+    with fewer than two (python alone compares against nothing).
+    """
+    if requested is not None:
+        backends = []
+        for name in requested:
+            if name not in BACKENDS:
+                raise ConfigurationError(
+                    f"unknown backend {name!r}; known: {', '.join(BACKENDS)}"
+                )
+            if name == "vector" and not numpy_available():
+                raise ConfigurationError(
+                    "backend 'vector' needs numpy; install it with "
+                    "pip install -e .[fast]"
+                )
+            if name == "native" and not native_available():
+                raise ConfigurationError(
+                    "backend 'native' needs the compiled extension; build "
+                    "it with pip install -e .[native] (requires a C "
+                    "compiler)"
+                )
+            if name not in backends:
+                backends.append(name)
+    else:
+        backends = list(available_backends())
+    if len(backends) < 2:
+        raise ConfigurationError(
+            "cross-backend fuzzing needs at least two installed backends; "
+            f"have: {', '.join(backends)} (pip install -e .[fast] adds "
+            "vector, pip install -e .[native] adds native)"
+        )
+    return tuple(backends)
+
+
 def check_source_cross_backend(
-    source: str, config: MachineConfig, budget: int = DEFAULT_BUDGET
+    source: str,
+    config: MachineConfig,
+    budget: int = DEFAULT_BUDGET,
+    backends: Sequence[str] = ("python", "vector"),
 ) -> FuzzFailure | None:
-    """Run one program on both backends and diff the stats exports.
+    """Run one program on every backend and diff the stats exports.
 
     Each backend simulates the same :class:`EmulatorFeed` with no checker
-    attached (the vector backend has none), and the full serialized result
-    — the exact payload the result cache and serve layer persist — is
-    compared byte-for-byte as canonical JSON.  A watchdog deadlock is a
-    legal *matching* outcome as long as both backends deadlock at the same
-    cycle; any other asymmetry is a ``backend-divergence`` failure.
+    attached (only the python backend has one), and the full serialized
+    result — the exact payload the result cache and serve layer persist —
+    is compared byte-for-byte as canonical JSON against the first backend
+    (the reference).  A watchdog deadlock is a legal *matching* outcome as
+    long as all backends deadlock at the same cycle; any other asymmetry
+    is a ``backend-divergence`` failure naming the first differing leaf.
     """
     program = assemble(source)
     golden = Emulator(program)
@@ -250,7 +312,7 @@ def check_source_cross_backend(
     dynamic = steps - 1
 
     exports: dict[str, str] = {}
-    for backend in ("python", "vector"):
+    for backend in backends:
         processor = make_processor(
             EmulatorFeed(program), config, backend=backend
         )
@@ -262,26 +324,33 @@ def check_source_cross_backend(
             )
             continue
         exports[backend] = json.dumps(serialize_result(result), sort_keys=True)
-    if exports["python"] == exports["vector"]:
-        return None
-    return FuzzFailure(
-        kind="backend-divergence",
-        config_name=config.name,
-        message=_first_divergence(exports["python"], exports["vector"]),
-        source=source,
-    )
+    reference = backends[0]
+    for backend in backends[1:]:
+        if exports[backend] != exports[reference]:
+            return FuzzFailure(
+                kind="backend-divergence",
+                config_name=config.name,
+                message=_first_divergence(
+                    exports[reference], exports[backend], reference, backend
+                ),
+                source=source,
+            )
+    return None
 
 
 def _shrink_failure(
-    original: FuzzFailure, config: MachineConfig, budget: int
+    original: FuzzFailure,
+    config: MachineConfig,
+    budget: int,
+    backends: Sequence[str] = ("python", "vector"),
 ) -> str | None:
     """Minimize a failing program; None if the failure will not re-fire."""
     kind = original.kind
-    check = (
-        check_source_cross_backend
-        if kind == "backend-divergence"
-        else check_source
-    )
+    if kind == "backend-divergence":
+        def check(candidate, cfg, bgt):
+            return check_source_cross_backend(candidate, cfg, bgt, backends)
+    else:
+        check = check_source
 
     def still_fails(candidate: str) -> bool:
         try:
@@ -325,6 +394,7 @@ def run_fuzz(
     raw_seeds: Iterable[int] | None = None,
     progress: Callable[[int, int], None] | None = None,
     cross_backend: bool = False,
+    backends: Sequence[str] | None = None,
 ) -> FuzzReport:
     """Fuzz *programs* random programs across the configuration matrix.
 
@@ -335,16 +405,23 @@ def run_fuzz(
     shrunk (unless *shrink* is false) and written to *corpus_dir* when
     given; fuzzing stops early after *max_failures* distinct failures.
 
-    With *cross_backend*, every (program, config) case instead runs on both
-    cycle-loop backends and diffs the serialized results byte-for-byte
-    (:func:`check_source_cross_backend`) — the bit-parity gate for the
-    vector backend.
+    With *cross_backend*, every (program, config) case instead runs on all
+    compared cycle-loop backends and diffs the serialized results
+    byte-for-byte (:func:`check_source_cross_backend`) — the bit-parity
+    gate for the vector and native backends.  *backends* pins the exact
+    set (every named backend must be installed); the default is every
+    installed backend.
     """
-    if cross_backend and not numpy_available():
-        raise ConfigurationError(
-            "backend 'vector' needs numpy; install it with pip install -e .[fast]"
-        )
-    check = check_source_cross_backend if cross_backend else check_source
+    if cross_backend:
+        parity_backends = resolve_cross_backends(backends)
+
+        def check(source, config, budget):
+            return check_source_cross_backend(
+                source, config, budget, parity_backends
+            )
+    else:
+        parity_backends = ("python", "vector")
+        check = check_source
     matrix = list(configs) if configs is not None else config_matrix()
     if raw_seeds is not None:
         seeds = list(raw_seeds)
@@ -361,7 +438,9 @@ def run_fuzz(
                 continue
             result.seed = gen_seed
             if shrink:
-                result.shrunk_source = _shrink_failure(result, config, budget)
+                result.shrunk_source = _shrink_failure(
+                    result, config, budget, parity_backends
+                )
             if corpus_dir is not None:
                 result.repro_path = _write_failure(result, corpus_dir)
             failures.append(result)
@@ -371,6 +450,7 @@ def run_fuzz(
                     config_names=[c.name for c in matrix],
                     checked=checked,
                     failures=failures,
+                    backends=parity_backends if cross_backend else None,
                 )
         if progress is not None:
             progress(index + 1, len(seeds))
@@ -379,6 +459,7 @@ def run_fuzz(
         config_names=[c.name for c in matrix],
         checked=checked,
         failures=failures,
+        backends=parity_backends if cross_backend else None,
     )
 
 

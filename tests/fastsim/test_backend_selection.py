@@ -1,4 +1,4 @@
-"""Backend resolution precedence, feature gating and the numpy gate."""
+"""Backend resolution precedence, feature gating and the install gates."""
 
 import dataclasses
 
@@ -9,7 +9,9 @@ from repro.fastsim import (
     BACKEND_ENV_VAR,
     BACKENDS,
     apply_backend,
+    available_backends,
     make_processor,
+    native_available,
     numpy_available,
     resolve_backend,
 )
@@ -23,19 +25,27 @@ class TestResolutionPrecedence:
         assert resolve_backend() == "python"
         assert resolve_backend(None, FOUR_WIDE) == "python"
 
-    def test_config_field_beats_default(self, monkeypatch):
+    @pytest.mark.parametrize("backend", ["vector", "native"])
+    def test_config_field_beats_default(self, monkeypatch, backend):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
-        config = dataclasses.replace(FOUR_WIDE, backend="vector")
-        assert resolve_backend(None, config) == "vector"
+        config = dataclasses.replace(FOUR_WIDE, backend=backend)
+        assert resolve_backend(None, config) == backend
 
-    def test_env_beats_config_field(self, monkeypatch):
+    @pytest.mark.parametrize("backend", ["vector", "native"])
+    def test_env_beats_config_field(self, monkeypatch, backend):
         monkeypatch.setenv(BACKEND_ENV_VAR, "python")
-        config = dataclasses.replace(FOUR_WIDE, backend="vector")
+        config = dataclasses.replace(FOUR_WIDE, backend=backend)
         assert resolve_backend(None, config) == "python"
 
-    def test_explicit_flag_beats_env(self, monkeypatch):
+    @pytest.mark.parametrize("backend", ["vector", "native"])
+    def test_explicit_flag_beats_env(self, monkeypatch, backend):
         monkeypatch.setenv(BACKEND_ENV_VAR, "python")
-        assert resolve_backend("vector", FOUR_WIDE) == "vector"
+        assert resolve_backend(backend, FOUR_WIDE) == backend
+
+    def test_env_native_beats_config_vector(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "native")
+        config = dataclasses.replace(FOUR_WIDE, backend="vector")
+        assert resolve_backend(None, config) == "native"
 
     def test_empty_env_var_is_ignored(self, monkeypatch):
         monkeypatch.setenv(BACKEND_ENV_VAR, "")
@@ -55,10 +65,11 @@ class TestResolutionPrecedence:
 
 
 class TestApplyBackend:
-    def test_materializes_resolved_choice(self, monkeypatch):
-        monkeypatch.setenv(BACKEND_ENV_VAR, "vector")
+    @pytest.mark.parametrize("backend", ["vector", "native"])
+    def test_materializes_resolved_choice(self, monkeypatch, backend):
+        monkeypatch.setenv(BACKEND_ENV_VAR, backend)
         applied = apply_backend(FOUR_WIDE)
-        assert applied.backend == "vector"
+        assert applied.backend == backend
         assert applied.name == FOUR_WIDE.name  # backend never renames
 
     def test_no_change_returns_same_object(self, monkeypatch):
@@ -76,6 +87,7 @@ class TestMakeProcessor:
         processor = make_processor(iter(()), FOUR_WIDE)
         assert isinstance(processor, Processor)
 
+    @pytest.mark.parametrize("backend", ["vector", "native"])
     @pytest.mark.parametrize(
         "kwargs, needle",
         [
@@ -84,14 +96,17 @@ class TestMakeProcessor:
             ({"profile": True}, "stage profiling"),
         ],
     )
-    def test_vector_rejects_python_only_features(self, kwargs, needle):
+    def test_fast_backends_reject_python_only_features(
+        self, kwargs, needle, backend
+    ):
         with pytest.raises(ConfigurationError, match=needle):
-            make_processor(iter(()), FOUR_WIDE, backend="vector", **kwargs)
+            make_processor(iter(()), FOUR_WIDE, backend=backend, **kwargs)
 
-    def test_vector_rejects_dependence_matrix(self):
+    @pytest.mark.parametrize("backend", ["vector", "native"])
+    def test_fast_backends_reject_dependence_matrix(self, backend):
         config = dataclasses.replace(FOUR_WIDE, use_dependence_matrix=True)
         with pytest.raises(ConfigurationError, match="dependence-matrix"):
-            make_processor(iter(()), config, backend="vector")
+            make_processor(iter(()), config, backend=backend)
 
     def test_missing_numpy_message_is_actionable(self, monkeypatch):
         import repro.fastsim as fastsim
@@ -101,6 +116,17 @@ class TestMakeProcessor:
             make_processor(iter(()), FOUR_WIDE, backend="vector")
         assert str(excinfo.value) == (
             "backend 'vector' needs numpy; install it with pip install -e .[fast]"
+        )
+
+    def test_missing_native_message_is_actionable(self, monkeypatch):
+        import repro.fastsim as fastsim
+
+        monkeypatch.setattr(fastsim, "native_available", lambda: False)
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_processor(iter(()), FOUR_WIDE, backend="native")
+        assert str(excinfo.value) == (
+            "backend 'native' needs the compiled extension; build it "
+            "with pip install -e .[native] (requires a C compiler)"
         )
 
     def test_cli_surfaces_numpy_gate_as_one_line_error(self, monkeypatch, capsys):
@@ -119,11 +145,37 @@ class TestMakeProcessor:
             "install it with pip install -e .[fast]"
         )
 
+    def test_cli_surfaces_native_gate_as_one_line_error(self, monkeypatch, capsys):
+        """`repro run --backend native` without the artifact: clean error."""
+        import repro.fastsim as fastsim
+        from repro.cli import main
+
+        monkeypatch.setattr(fastsim, "native_available", lambda: False)
+        code = main(
+            ["run", "gzip", "--insts", "100", "--warmup", "0", "--backend", "native"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.strip() == (
+            "error: backend 'native' needs the compiled extension; "
+            "build it with pip install -e .[native] (requires a C compiler)"
+        )
+
 
 class TestBackendsConstant:
     def test_known_backends(self):
-        assert BACKENDS == ("python", "vector")
+        assert BACKENDS == ("python", "vector", "native")
         assert MachineConfig.__dataclass_fields__["backend"].default == "python"
 
     def test_numpy_available_is_boolean(self):
         assert numpy_available() in (True, False)
+
+    def test_native_available_is_boolean(self):
+        assert native_available() in (True, False)
+
+    def test_available_backends_is_installed_subset(self):
+        installed = available_backends()
+        assert installed[0] == "python"
+        assert set(installed) <= set(BACKENDS)
+        assert ("vector" in installed) == numpy_available()
+        assert ("native" in installed) == native_available()

@@ -1,10 +1,12 @@
-"""Bit-parity of the vector backend against the reference Processor.
+"""Bit-parity of the vector and native backends against the reference.
 
 The heavyweight gate is ``repro fuzz --cross-backend`` (random programs,
 full config matrix); these tests pin a fast deterministic slice of the
 same contract in tier-1: identical serialized results — every counter,
 histogram and predictor-bank count — on representative machine variants,
-plus the cross-backend fuzz plumbing itself.
+plus the cross-backend fuzz plumbing itself.  Every parity test is
+parameterized over both fast backends and skips cleanly when a backend's
+prerequisite (numpy / the compiled extension) is missing.
 """
 
 import json
@@ -12,7 +14,7 @@ import json
 import pytest
 
 from repro.analysis.cache import serialize_result
-from repro.fastsim import make_processor, numpy_available
+from repro.fastsim import make_processor, native_available, numpy_available
 from repro.pipeline.config import (
     EIGHT_WIDE,
     FOUR_WIDE,
@@ -26,10 +28,6 @@ from repro.workloads.feed import EmulatorFeed, ReplayFeed
 from repro.workloads.kernels import kernel_program
 from repro.workloads.profiles import get_profile
 from repro.workloads.synthetic import SyntheticWorkload
-
-pytestmark = pytest.mark.skipif(
-    not numpy_available(), reason="vector backend needs numpy"
-)
 
 _VARIANTS = {
     "base": FOUR_WIDE,
@@ -47,51 +45,77 @@ _VARIANTS = {
     "8-wide": EIGHT_WIDE,
 }
 
+#: Fast backends under parity test, with their availability probes.
+_FAST_BACKENDS = ("vector", "native")
+
+
+def _require(backend):
+    if backend == "vector" and not numpy_available():
+        pytest.skip("vector backend needs numpy (pip install -e .[fast])")
+    if backend == "native" and not native_available():
+        pytest.skip(
+            "native backend needs the compiled extension "
+            "(pip install -e .[native])"
+        )
+
 
 def _payload(processor, insts, warmup):
     result = processor.run(max_insts=insts, warmup=warmup)
     return json.dumps(serialize_result(result), sort_keys=True)
 
 
-def _assert_parity(make_feed, config, insts=1_200, warmup=0, shadow=None):
+def _assert_parity(
+    make_feed, config, fast_backend, insts=1_200, warmup=0, shadow=None
+):
     payloads = {}
-    for backend in ("python", "vector"):
+    for backend in ("python", fast_backend):
         processor = make_processor(
             make_feed(), config, backend=backend, shadow_sizes=shadow
         )
         payloads[backend] = _payload(processor, insts, warmup)
-    assert payloads["python"] == payloads["vector"]
+    assert payloads["python"] == payloads[fast_backend]
 
 
+@pytest.mark.parametrize("backend", _FAST_BACKENDS)
 @pytest.mark.parametrize("name", sorted(_VARIANTS))
-def test_synthetic_workload_parity(name):
+def test_synthetic_workload_parity(name, backend):
+    _require(backend)
     config = _VARIANTS[name]
     _assert_parity(
-        lambda: SyntheticWorkload(get_profile("gzip"), seed=3), config
+        lambda: SyntheticWorkload(get_profile("gzip"), seed=3), config, backend
     )
 
 
-def test_parity_with_warmup_and_shadow_bank():
+@pytest.mark.parametrize("backend", _FAST_BACKENDS)
+def test_parity_with_warmup_and_shadow_bank(backend):
+    _require(backend)
     _assert_parity(
         lambda: SyntheticWorkload(get_profile("gcc"), seed=7),
         FOUR_WIDE,
+        backend,
         warmup=200,
         shadow=(64, 256),
     )
 
 
-def test_emulator_feed_parity():
+@pytest.mark.parametrize("backend", _FAST_BACKENDS)
+def test_emulator_feed_parity(backend):
     """The generator ingest path (no decoded columns) is also bit-exact."""
+    _require(backend)
     program = kernel_program("pointer_chase")
-    _assert_parity(lambda: EmulatorFeed(program, name="pointer_chase"), FOUR_WIDE)
+    _assert_parity(
+        lambda: EmulatorFeed(program, name="pointer_chase"), FOUR_WIDE, backend
+    )
 
 
-def test_replay_feed_decoded_columns_parity():
+@pytest.mark.parametrize("backend", _FAST_BACKENDS)
+def test_replay_feed_decoded_columns_parity(backend):
     """Pre-decoded ReplayFeed (the fast path) matches the reference too."""
+    _require(backend)
     workload = SyntheticWorkload(get_profile("vortex"), seed=5)
     feed = ReplayFeed.from_stream(workload, 1_600)
     feed.columns()
-    _assert_parity(lambda: feed_copy(feed), FOUR_WIDE)
+    _assert_parity(lambda: feed_copy(feed), FOUR_WIDE, backend)
 
 
 def feed_copy(feed):
@@ -103,18 +127,27 @@ def feed_copy(feed):
     return clone
 
 
-def test_vector_backend_is_single_run():
+@pytest.mark.parametrize("backend", _FAST_BACKENDS)
+def test_fast_backends_are_single_run(backend):
+    _require(backend)
     workload = SyntheticWorkload(get_profile("gzip"), seed=3)
-    processor = make_processor(workload, FOUR_WIDE, backend="vector")
+    processor = make_processor(workload, FOUR_WIDE, backend=backend)
     processor.run(max_insts=300, warmup=0)
     with pytest.raises(Exception, match="single-run"):
         processor.run(max_insts=300, warmup=0)
 
 
 def test_cross_backend_fuzz_smoke():
-    """A short cross-backend fuzz session through the real orchestration."""
+    """A short cross-backend fuzz session through the real orchestration.
+
+    Covers every installed backend (the default resolution), so on a
+    fully-built checkout this is a genuine python/vector/native 3-way
+    byte-parity check.
+    """
     from repro.verify.fuzz import config_matrix, run_fuzz
 
+    if not numpy_available():
+        pytest.skip("cross-backend fuzzing needs at least the vector backend")
     report = run_fuzz(
         3,
         seed=11,
@@ -123,18 +156,33 @@ def test_cross_backend_fuzz_smoke():
     )
     assert report.ok, report.summary()
     assert report.checked == 3 * 3  # 3 programs x (base x2 recoveries + 1)
+    assert report.backends is not None and report.backends[0] == "python"
+    assert ("native" in report.backends) == native_available()
 
 
-def test_runner_serves_both_backends_identically(monkeypatch, tmp_path):
+def test_cross_backend_fuzz_pinned_backends_fail_loudly(monkeypatch):
+    """A CI leg that pins --backends must not silently narrow the gate."""
+    import repro.verify.fuzz as fuzz_mod
+    from repro.errors import ConfigurationError
+    from repro.verify.fuzz import resolve_cross_backends
+
+    monkeypatch.setattr(fuzz_mod, "native_available", lambda: False)
+    with pytest.raises(ConfigurationError, match="compiled extension"):
+        resolve_cross_backends(["python", "vector", "native"])
+
+
+@pytest.mark.parametrize("backend", _FAST_BACKENDS)
+def test_runner_serves_all_backends_identically(monkeypatch, backend):
     """REPRO_BACKEND flows through the runner; stats stay bit-identical."""
+    _require(backend)
     from repro.analysis.runner import ExperimentRunner
 
     payloads = {}
-    for backend in ("python", "vector"):
-        monkeypatch.setenv("REPRO_BACKEND", backend)
+    for choice in ("python", backend):
+        monkeypatch.setenv("REPRO_BACKEND", choice)
         runner = ExperimentRunner(
             insts=800, warmup=200, seed=3, benchmarks=("gzip",), cache=False
         )
         result = runner.result("gzip", FOUR_WIDE)
-        payloads[backend] = json.dumps(serialize_result(result), sort_keys=True)
-    assert payloads["python"] == payloads["vector"]
+        payloads[choice] = json.dumps(serialize_result(result), sort_keys=True)
+    assert payloads["python"] == payloads[backend]

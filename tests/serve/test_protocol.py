@@ -126,10 +126,11 @@ class TestBackendField:
         assert spec.backend == "python"
         assert spec.config().backend == "python"
 
-    def test_backend_round_trips_through_wire(self):
-        spec = parse_spec({"benchmark": "gzip", "backend": "vector"})
-        assert spec.backend == "vector"
-        assert spec.config().backend == "vector"
+    @pytest.mark.parametrize("backend", ["vector", "native"])
+    def test_backend_round_trips_through_wire(self, backend):
+        spec = parse_spec({"benchmark": "gzip", "backend": backend})
+        assert spec.backend == backend
+        assert spec.config().backend == backend
         assert parse_spec(spec.as_wire()) == spec
 
     def test_unknown_backend_rejected(self):
@@ -138,12 +139,17 @@ class TestBackendField:
 
     def test_backend_changes_fingerprint(self):
         """Coalescing and cached results must never cross backends."""
-        python = parse_spec({"benchmark": "gzip", "backend": "python"})
-        vector = parse_spec({"benchmark": "gzip", "backend": "vector"})
-        assert python.fingerprint() != vector.fingerprint()
+        fingerprints = {
+            backend: parse_spec(
+                {"benchmark": "gzip", "backend": backend}
+            ).fingerprint()
+            for backend in ("python", "vector", "native")
+        }
+        assert len(set(fingerprints.values())) == 3
 
-    def test_backend_fingerprint_matches_cache_digest(self):
-        spec = parse_spec({"benchmark": "gzip", "backend": "vector"})
+    @pytest.mark.parametrize("backend", ["vector", "native"])
+    def test_backend_fingerprint_matches_cache_digest(self, backend):
+        spec = parse_spec({"benchmark": "gzip", "backend": backend})
         expected = cache_fingerprint(
             "gzip", spec.seed, spec.insts, spec.warmup, spec.config(), None
         )
