@@ -4,11 +4,14 @@
 Boots ``repro serve`` as a real subprocess, submits a 20-job sweep with
 overlapping specs, asserts that coalescing actually happened (coalesce-hit
 counter > 0, simulations <= distinct fingerprints), then SIGTERMs the
-server and asserts a clean drain.
+server and asserts a clean drain.  The final metrics snapshot (queue
+depth, latency histogram, counters) lands in ``serve-smoke-artifacts/``
+for CI to upload.
 
 Run from the repository root:  PYTHONPATH=src python scripts/serve_smoke.py
 """
 
+import json
 import os
 import re
 import signal
@@ -21,6 +24,8 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 sys.path.insert(0, str(SRC))
 
 from repro.serve.client import ServeClient  # noqa: E402
+
+ARTIFACTS = Path(os.environ.get("SERVE_SMOKE_ARTIFACTS", "serve-smoke-artifacts"))
 
 
 def fail(message: str) -> None:
@@ -61,7 +66,12 @@ def main() -> None:
             if document["status"] != "done":
                 fail(f"job {receipt['id']} ended {document['status']}")
 
-        metrics = client.metrics()["metrics"]
+        snapshot = client.metrics()
+        ARTIFACTS.mkdir(parents=True, exist_ok=True)
+        (ARTIFACTS / "server_metrics.json").write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        metrics = snapshot["metrics"]
         coalesce_hits = metrics.get("serve.coalesce_hits", 0)
         simulated = metrics.get("serve.simulated", 0)
         print(f"20 jobs done: {coalesce_hits} coalesce hits, {simulated} simulations")

@@ -1,9 +1,14 @@
-"""Persistent on-disk result cache for simulation runs.
+"""Persistent result cache for simulation runs (store-backed).
 
 Every finished :class:`~repro.pipeline.processor.SimulationResult` can be
-stored as one small JSON record under ``results/cache/`` and replayed in a
-later session without re-simulating.  Records are keyed by a SHA-256
-fingerprint over everything that determines a run's outcome:
+stored as one small JSON record and replayed in a later session without
+re-simulating.  The cache is a thin domain adapter: it computes the
+fingerprint, serializes/deserializes records, and delegates all blob I/O
+to a :class:`~repro.analysis.store.ResultStore` (by default a
+content-addressed :class:`~repro.analysis.store.DirectoryStore` under
+``results/cache/`` — shareable between processes and, on a shared
+filesystem, between serving-tier workers).  Records are keyed by a
+SHA-256 fingerprint over everything that determines a run's outcome:
 
 * the **timing-model version stamp**
   (:data:`repro.pipeline.processor.TIMING_MODEL_VERSION`) — bumped whenever
@@ -24,8 +29,10 @@ interpretation of a finished one.
 
 Environment knobs::
 
-    REPRO_CACHE      "0"/"off"/"false" disables the disk cache (default on)
-    REPRO_CACHE_DIR  cache directory (default <repo>/results/cache)
+    REPRO_CACHE          "0"/"off"/"false" disables the disk cache (default on)
+    REPRO_CACHE_DIR      cache directory (default <repo>/results/cache)
+    REPRO_CLAIM_STALE_S  seconds before an abandoned cross-process claim
+                         is broken by the next contender (default 300)
 """
 
 from __future__ import annotations
@@ -35,10 +42,10 @@ import enum
 import hashlib
 import json
 import os
-import tempfile
 from collections import Counter
 from pathlib import Path
 
+from repro.analysis.store import DirectoryStore, ResultStore, StoreClaim
 from repro.core.last_arrival import DesignComparisonBank, ShadowPredictorBank
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import TIMING_MODEL_VERSION, SimulationResult
@@ -207,10 +214,27 @@ def cache_enabled() -> bool:
 
 
 class ResultCache:
-    """Directory of JSON simulation records keyed by input fingerprint."""
+    """Simulation records keyed by input fingerprint, on a ResultStore.
 
-    def __init__(self, directory: Path | str | None = None):
-        self.directory = Path(directory) if directory is not None else default_cache_dir()
+    The domain adapter between the analysis layer (benchmark, seed,
+    config, run lengths) and the content-addressed blob store.  All the
+    durability guarantees — atomic publication, checksum-verified reads,
+    quarantine of torn blobs, cross-process claims — live in the store;
+    this class owns fingerprinting and (de)serialization plus the
+    hit/miss accounting the runner's metrics surface.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str | None = None,
+        store: ResultStore | None = None,
+    ):
+        if store is not None:
+            self.backend = store
+        else:
+            self.backend = DirectoryStore(
+                Path(directory) if directory is not None else default_cache_dir()
+            )
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -220,12 +244,12 @@ class ResultCache:
         """Build the cache the environment asks for (None = disabled)."""
         return cls() if cache_enabled() else None
 
-    # ------------------------------------------------------------------
-    def _path(self, benchmark: str, config_name: str, seed: int, digest: str) -> Path:
-        # Human-scannable prefix + digest; the digest alone carries identity.
-        safe_config = config_name.replace("/", "_").replace(" ", "_")
-        return self.directory / f"{benchmark}__{safe_config}__s{seed}__{digest[:20]}.json"
+    @property
+    def directory(self) -> Path | None:
+        """The backing directory, when the store has one (diagnostics)."""
+        return getattr(self.backend, "root", None)
 
+    # ------------------------------------------------------------------
     def load(
         self,
         benchmark: str,
@@ -237,19 +261,18 @@ class ResultCache:
     ) -> SimulationResult | None:
         """Return the cached result for these inputs, or None on a miss."""
         digest = fingerprint(benchmark, seed, insts, warmup, config, shadow_sizes)
-        path = self._path(benchmark, config.name, seed, digest)
-        try:
-            with open(path, encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
-        if record.get("fingerprint") != digest:  # pragma: no cover - paranoia
+        record = self.backend.get(digest)
+        if record is None:
             self.misses += 1
             return None
         stored_checksum = record.get("checksum")
-        if stored_checksum is None or stored_checksum != record_checksum(record):
-            # Corrupt or pre-v2 record: refuse to serve it.
+        if (
+            record.get("fingerprint") != digest
+            or stored_checksum is None
+            or stored_checksum != record_checksum(record)
+        ):
+            # Corrupt or pre-v2 record that a permissive store served
+            # anyway: refuse it (DirectoryStore already quarantines).
             self.misses += 1
             return None
         try:
@@ -272,8 +295,8 @@ class ResultCache:
         config: MachineConfig,
         shadow_sizes: tuple[int, ...] | None,
         result: SimulationResult,
-    ) -> Path:
-        """Persist one result (atomic write: temp file + rename)."""
+    ) -> Path | None:
+        """Publish one result; returns the blob path for directory stores."""
         digest = fingerprint(benchmark, seed, insts, warmup, config, shadow_sizes)
         record = serialize_result(result)
         record["fingerprint"] = digest
@@ -283,18 +306,38 @@ class ResultCache:
         record["warmup"] = warmup
         record["model_version"] = TIMING_MODEL_VERSION
         record["checksum"] = record_checksum(record)
-        path = self._path(benchmark, config.name, seed, digest)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        fd, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, sort_keys=True)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        self.backend.put(digest, record)
         self.stores += 1
-        return path
+        if isinstance(self.backend, DirectoryStore):
+            return self.backend._blob_path(digest)
+        return None
+
+    # ------------------------------------------------------------------
+    # Cross-process singleflight (delegated to the store)
+    # ------------------------------------------------------------------
+    def claim(
+        self,
+        benchmark: str,
+        seed: int,
+        insts: int,
+        warmup: int,
+        config: MachineConfig,
+        shadow_sizes: tuple[int, ...] | None,
+    ) -> StoreClaim | None:
+        """Try to become the computing process for these inputs."""
+        digest = fingerprint(benchmark, seed, insts, warmup, config, shadow_sizes)
+        return self.backend.claim(digest)
+
+    def wait_published(
+        self,
+        benchmark: str,
+        seed: int,
+        insts: int,
+        warmup: int,
+        config: MachineConfig,
+        shadow_sizes: tuple[int, ...] | None,
+        timeout: float,
+    ) -> bool:
+        """Poll for another process's publication of these inputs."""
+        digest = fingerprint(benchmark, seed, insts, warmup, config, shadow_sizes)
+        return self.backend.wait(digest, timeout) is not None

@@ -145,6 +145,10 @@ class ExperimentRunner:
             self.metrics.counter("runner.coalesced").inc()
         return found
 
+    #: per-round wait for another process's publication before the claim
+    #: is re-contended (stale claims are broken by the store itself).
+    CLAIM_WAIT_S = 20.0
+
     def _compute(
         self, key: tuple, benchmark: str, config: MachineConfig, seed: int, shadow: bool
     ) -> SimulationResult:
@@ -156,27 +160,48 @@ class ExperimentRunner:
             self.metrics.counter("runner.memo_hits").inc()
             return found
         shadow_sizes = self._shadow_sizes(shadow)
+        claim = None
         if self.cache is not None:
-            found = self.cache.load(
-                benchmark, seed, self.insts, self.warmup, config, shadow_sizes
+            run = (benchmark, seed, self.insts, self.warmup, config, shadow_sizes)
+            # Cross-process singleflight: among processes sharing this
+            # store (serving-tier workers, parallel CI legs), exactly one
+            # simulates a given fingerprint; the rest wait for the blob.
+            # A claim abandoned by a dead process goes stale and is
+            # taken over, so this loop always terminates.  Each wait is
+            # capped at the stale horizon: past it the claim is
+            # contestable, so there is no point sleeping longer.
+            stale = getattr(self.cache.backend, "claim_stale_s", None)
+            wait_s = self.CLAIM_WAIT_S
+            if isinstance(stale, (int, float)):
+                wait_s = max(0.1, min(wait_s, float(stale)))
+            while True:
+                found = self.cache.load(*run)
+                if found is not None:
+                    self.metrics.counter("runner.disk_hits").inc()
+                    self._results[key] = found
+                    return found
+                claim = self.cache.claim(*run)
+                if claim is not None:
+                    break
+                self.metrics.counter("runner.claim_waits").inc()
+                self.cache.wait_published(*run, timeout=wait_s)
+        try:
+            processor = make_processor(
+                self.workload(benchmark, seed),
+                config,
+                backend=config.backend,
+                shadow_sizes=shadow_sizes,
             )
-            if found is not None:
-                self.metrics.counter("runner.disk_hits").inc()
-                self._results[key] = found
-                return found
-        processor = make_processor(
-            self.workload(benchmark, seed),
-            config,
-            backend=config.backend,
-            shadow_sizes=shadow_sizes,
-        )
-        found = processor.run(max_insts=self.insts, warmup=self.warmup)
-        self.metrics.counter("runner.simulated").inc()
-        self._results[key] = found
-        if self.cache is not None:
-            self.cache.store(
-                benchmark, seed, self.insts, self.warmup, config, shadow_sizes, found
-            )
+            found = processor.run(max_insts=self.insts, warmup=self.warmup)
+            self.metrics.counter("runner.simulated").inc()
+            self._results[key] = found
+            if self.cache is not None:
+                self.cache.store(
+                    benchmark, seed, self.insts, self.warmup, config, shadow_sizes, found
+                )
+        finally:
+            if claim is not None:
+                claim.release()
         return found
 
     # ------------------------------------------------------------------

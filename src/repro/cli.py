@@ -327,26 +327,77 @@ def _run_spec_from_args(args, benchmark: str) -> dict:
 
 
 def _cmd_serve(args) -> int:
+    if args.router and args.worker:
+        print("error: --router and --worker are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.router:
+        return _cmd_serve_router(args)
+    from repro.analysis.cache import ResultCache
     from repro.serve.executor import JobExecutor
     from repro.serve.server import ServeServer, run_server
 
+    if args.no_cache:
+        cache: ResultCache | bool = False
+    elif args.store is not None:
+        cache = ResultCache(directory=args.store)
+    else:
+        cache = True
     server = ServeServer(
         host=args.host,
         port=args.port,
         workers=args.workers,
         queue_size=args.queue_size,
         spool=args.spool,
-        executor=JobExecutor(cache=not args.no_cache),
+        executor=JobExecutor(cache=cache),
+        name=args.name,
     )
+    role = "worker" if args.worker else "serving"
 
     def announce(started: ServeServer) -> None:
-        print(f"serving on http://{started.host}:{started.port}", flush=True)
+        label = f" [{started.name}]" if started.name else ""
+        print(f"{role}{label} on http://{started.host}:{started.port}", flush=True)
         if started.recovered:
             print(f"recovered {started.recovered} pending job(s) from {args.spool}", flush=True)
 
     code = run_server(server, announce=announce)
     pending = len(server.table.pending())
     completed = server.registry.get("serve.completed")
+    print(
+        f"drained: {completed.value if completed else 0} job(s) completed, "
+        f"{pending} persisted for restart",
+        flush=True,
+    )
+    return code
+
+
+def _cmd_serve_router(args) -> int:
+    from repro.serve.router import RouterServer, run_router
+
+    if not args.worker_url:
+        print(
+            "error: --router needs at least one --worker-url "
+            "(workers can also register at runtime via /v1/workers/register)",
+            file=sys.stderr,
+        )
+        return 2
+    router = RouterServer(
+        host=args.host,
+        port=args.port,
+        workers=args.worker_url,
+        spool=args.spool,
+        queue_size=args.queue_size,
+        steal_watermark=args.steal_watermark,
+    )
+
+    def announce(started: RouterServer) -> None:
+        print(f"routing on http://{started.host}:{started.port}", flush=True)
+        print(f"workers: {', '.join(started.ring.nodes())}", flush=True)
+        if started.recovered:
+            print(f"recovered {started.recovered} pending job(s) from {args.spool}", flush=True)
+
+    code = run_router(router, announce=announce)
+    pending = len(router.table.pending())
+    completed = router.registry.get("router.completed")
     print(
         f"drained: {completed.value if completed else 0} job(s) completed, "
         f"{pending} persisted for restart",
@@ -616,6 +667,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the on-disk result cache (always simulate)",
+    )
+    serve_parser.add_argument(
+        "--router", action="store_true",
+        help="run as the cluster router: shard jobs onto --worker-url workers "
+        "by cache fingerprint (docs/SERVING.md, Cluster mode)",
+    )
+    serve_parser.add_argument(
+        "--worker", action="store_true",
+        help="run as a cluster worker (a job server meant to sit behind a "
+        "router; give it --name and a shared --store)",
+    )
+    serve_parser.add_argument(
+        "--worker-url", action="append", default=[], metavar="URL",
+        help="router mode: a worker base URL (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="worker identity reported on /healthz",
+    )
+    serve_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="shared result-store directory (all cluster workers must agree)",
+    )
+    serve_parser.add_argument(
+        "--steal-watermark", type=int, default=8, metavar="N",
+        help="router mode: queue depth above which a hot worker's jobs are "
+        "stolen by the least-loaded worker (default 8)",
     )
 
     submit_parser = subparsers.add_parser(

@@ -33,11 +33,19 @@ from repro.serve.protocol import TERMINAL_STATES
 
 
 class ServeError(ReproError):
-    """A request that failed for good (no further retries)."""
+    """A request that failed for good (no further retries).
 
-    def __init__(self, message: str, status: int | None = None):
+    ``status`` is the HTTP status for 4xx failures (None when the
+    transport itself gave out); ``payload`` carries the server's JSON
+    error body, e.g. the ``next_id`` watermark on 404s.
+    """
+
+    def __init__(
+        self, message: str, status: int | None = None, payload: dict | None = None
+    ):
         super().__init__(message)
         self.status = status
+        self.payload = payload or {}
 
 
 class JobFailed(ServeError):
@@ -151,6 +159,7 @@ class ServeClient:
                 raise ServeError(
                     f"{method} {path} -> HTTP {status}: {document.get('error', 'request failed')}",
                     status=status,
+                    payload=document,
                 )
             return document
         raise ServeError(
@@ -197,6 +206,16 @@ class ServeClient:
     def wait(self, job_id: str, timeout: float = 300.0, poll: float = 5.0) -> dict:
         """Block until *job_id* is terminal; returns its final document.
 
+        Survives a server restart mid-wait: transport failures (the
+        connection dropped, the socket refused while the server rebinds)
+        are retried against the **original job id** until the overall
+        deadline — a restarted server recovers pending jobs from its
+        spool under their old ids, so the poll simply resumes.  A 404 is
+        classified against the server's spool id watermark (``next_id``
+        in the error body): an id below the watermark was completed and
+        compacted away during the restart, an id at or above it was
+        never issued.
+
         Raises :class:`JobFailed` on a failed/cancelled job and
         :class:`ServeError` on timeout.
         """
@@ -205,13 +224,48 @@ class ServeClient:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise ServeError(f"timed out waiting for job {job_id}")
-            document = self.job(job_id, wait=min(poll, max(0.05, remaining)))
+            try:
+                document = self.job(job_id, wait=min(poll, max(0.05, remaining)))
+            except ServeError as error:
+                if error.status == 404:
+                    raise self._classify_missing(job_id, error) from None
+                if error.status is not None:
+                    raise
+                # Transport gave out (likely a restart in progress): keep
+                # resuming with the original id until the deadline.
+                if deadline - time.monotonic() <= 0:
+                    raise ServeError(
+                        f"timed out waiting for job {job_id}: {error}"
+                    ) from None
+                self._sleep(min(self.retry.backoff_s, max(0.05, deadline - time.monotonic())))
+                continue
             if document["status"] in TERMINAL_STATES:
                 if document["status"] != "done":
                     raise JobFailed(
                         f"job {job_id} {document['status']}: {document.get('error')}"
                     )
                 return document
+
+    @staticmethod
+    def _classify_missing(job_id: str, error: ServeError) -> ServeError:
+        """Turn a 404 into a precise diagnosis using the id watermark."""
+        next_id = error.payload.get("next_id")
+        try:
+            numeric = int(job_id.split("-", 1)[1])
+        except (IndexError, ValueError):
+            numeric = None
+        if isinstance(next_id, int) and numeric is not None and numeric < next_id:
+            return ServeError(
+                f"job {job_id} completed before a server restart and its "
+                "record was compacted; resubmit to get the (cached) result",
+                status=404,
+                payload=error.payload,
+            )
+        return ServeError(
+            f"job {job_id} was never issued by this server",
+            status=404,
+            payload=error.payload,
+        )
 
     def submit_and_wait(self, specs, timeout: float = 300.0, poll: float = 5.0) -> list[dict]:
         """Submit a batch and wait for every job; returns final documents."""

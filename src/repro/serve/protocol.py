@@ -43,7 +43,10 @@ from repro.pipeline.processor import TIMING_MODEL_VERSION
 from repro.workloads.profiles import SPEC_BENCHMARKS
 
 #: Bump when the request/response shapes change incompatibly.
-PROTOCOL_VERSION = 1
+#: v2: batch submissions may carry caller-assigned job ids (``"ids"``),
+#: which is how the cluster router pins its global ids onto workers, and
+#: ``/healthz`` reports queue depth for routing decisions.
+PROTOCOL_VERSION = 2
 
 #: Job lifecycle states, as serialized on the wire.
 QUEUED = "queued"
@@ -282,14 +285,35 @@ def parse_spec(payload: object) -> JobSpec:
     raise ProtocolError(f"unknown job kind {kind!r} (known: run, verify)")
 
 
-def parse_batch(payload: object) -> list[JobSpec]:
-    """Parse a ``POST /v1/jobs`` body: a single spec or ``{"jobs": [...]}``."""
+def parse_batch_with_ids(payload: object) -> tuple[list[JobSpec], list[str] | None]:
+    """Parse a ``POST /v1/jobs`` body: specs plus optional assigned ids.
+
+    The ``"ids"`` list (parallel to ``"jobs"``) lets a trusted caller —
+    the cluster router — pin its own job ids onto a worker, so one job
+    keeps a single identity across the whole cluster.  Absent ``"ids"``,
+    the server assigns ids as before.
+    """
     _require(isinstance(payload, dict), "request body must be a JSON object")
     assert isinstance(payload, dict)
     if "jobs" in payload:
         jobs = payload["jobs"]
         _require(isinstance(jobs, list) and bool(jobs), "jobs must be a non-empty list")
-        extra = set(payload) - {"jobs"}
+        extra = set(payload) - {"jobs", "ids"}
         _require(not extra, f"unknown batch field(s): {', '.join(sorted(extra))}")
-        return [parse_spec(entry) for entry in jobs]
-    return [parse_spec(payload)]
+        specs = [parse_spec(entry) for entry in jobs]
+        ids = payload.get("ids")
+        if ids is not None:
+            _require(
+                isinstance(ids, list)
+                and len(ids) == len(specs)
+                and all(isinstance(job_id, str) and job_id for job_id in ids),
+                "ids must be a list of job-id strings parallel to jobs",
+            )
+        return specs, ids
+    return [parse_spec(payload)], None
+
+
+def parse_batch(payload: object) -> list[JobSpec]:
+    """Parse a ``POST /v1/jobs`` body: a single spec or ``{"jobs": [...]}``."""
+    specs, _ids = parse_batch_with_ids(payload)
+    return specs

@@ -1,0 +1,84 @@
+"""Consistent-hash ring: cache fingerprints -> worker names.
+
+The cluster router places every job on a worker by hashing its cache
+fingerprint onto this ring, so all submissions of one fingerprint land
+on the same worker and that worker's in-process singleflight coalesces
+them — cluster-wide coalescing with no cross-worker locking.
+
+Each worker contributes ``replicas`` virtual points (SHA-256 of
+``"name#i"``), which smooths the load split; a fingerprint maps to the
+first point clockwise from its own hash.  Adding or removing one worker
+moves only the keys owned by that worker's points (~1/N of the space),
+which is what makes ring resizes on worker death or drain cheap: the
+untouched majority of fingerprints keep their home worker and their
+coalescing history.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+#: Virtual points per node.  64 keeps the max/min load ratio of a
+#: 3-node ring comfortably under 1.5x at negligible memory cost.
+DEFAULT_REPLICAS = 64
+
+
+def _point(label: str) -> int:
+    """A node/key position on the ring: the top 8 bytes of SHA-256."""
+    return int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual replicas."""
+
+    def __init__(self, nodes=(), replicas: int = DEFAULT_REPLICAS):
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        #: parallel sorted arrays: point hash -> owning node
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> bool:
+        """Add *node*; False if it was already on the ring."""
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _point(f"{node}#{replica}")
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove *node*; False if it was not on the ring."""
+        if node not in self._nodes:
+            return False
+        self._nodes.discard(node)
+        keep = [pair for pair in zip(self._points, self._owners) if pair[1] != node]
+        self._points = [point for point, _owner in keep]
+        self._owners = [owner for _point, owner in keep]
+        return True
+
+    # ------------------------------------------------------------------
+    def node(self, key: str) -> str | None:
+        """The node owning *key* (first point clockwise), or None if empty."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._owners[index]

@@ -1,0 +1,752 @@
+"""Cluster router: fingerprint-sharded dispatch over serve workers.
+
+The router is the single front door of a serve cluster.  It owns global
+job identity (ids, coalescing, the crash-safe spool journal) and does no
+simulation itself; every accepted primary job is dispatched to one of N
+worker processes (plain ``repro serve --worker`` servers) and watched to
+completion.  The design invariants (docs/SERVING.md, "Cluster mode"):
+
+* **Fingerprint sharding.**  Jobs are placed by consistent-hashing their
+  cache fingerprint onto the worker ring (:mod:`repro.serve.ring`), so
+  every submission of one fingerprint lands on the same worker and that
+  worker's in-process singleflight coalesces them.  Cluster-wide
+  coalescing therefore needs no cross-worker locking at all.
+* **Router-pinned ids.**  Dispatches carry the router's job id in the
+  batch envelope (``"ids"``, protocol v2), so a job keeps one identity
+  on the router, the worker, and the wire.
+* **Job stealing.**  When a fingerprint's home worker is hotter than the
+  steal watermark (queue depth from its ``/healthz``), the job routes to
+  the least-loaded worker instead.  Stolen or re-dispatched jobs cannot
+  duplicate completed work: workers share one content-addressed result
+  store (:mod:`repro.analysis.store`), whose claims make the second
+  worker wait for — or find — the first worker's published blob.
+* **Worker lifecycle.**  A health monitor polls every worker's
+  ``/healthz``; K consecutive failures evict it from the ring and its
+  in-flight jobs re-dispatch to surviving workers.  A worker draining on
+  SIGTERM advertises ``draining`` and is removed from routing while its
+  in-flight jobs finish — a graceful ring resize.  Workers can also be
+  added at runtime via ``POST /v1/workers/register``.
+* **Durability.**  The spool journal records every accepted job before
+  the 202 and every terminal transition after it; a restarted router
+  re-dispatches the pending set under the original ids.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from urllib.parse import urlsplit
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.jobs import Job, JobTable, SpoolJournal
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    QUEUED,
+    ProtocolError,
+    parse_batch,
+)
+from repro.serve.ring import HashRing
+from repro.serve.server import (
+    MAX_LONGPOLL_S,
+    _encode_response,
+    _HttpError,
+    _read_request,
+)
+
+#: Router defaults (all overridable per instance).
+DEFAULT_QUEUE_SIZE = 1024
+DEFAULT_STEAL_WATERMARK = 8
+DEFAULT_HEALTH_INTERVAL_S = 1.0
+DEFAULT_HEALTH_FAILURES = 3
+#: Long-poll slice a watcher asks its worker for per round trip.
+WATCH_POLL_S = 10.0
+_LONGPOLL_SLICE_S = 0.25
+
+
+# ----------------------------------------------------------------------
+# Minimal async HTTP client (stdlib asyncio streams, Connection: close)
+# ----------------------------------------------------------------------
+async def _worker_request(
+    url: str,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    timeout: float = 10.0,
+) -> tuple[int, dict]:
+    """One HTTP exchange with a worker: ``(status, parsed-JSON body)``."""
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    host, port = split.hostname or "127.0.0.1", split.port or 80
+
+    async def _exchange() -> tuple[int, dict]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = b""
+            head = [f"{method} {path} HTTP/1.1\r\n", f"Host: {host}\r\n"]
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                head.append("Content-Type: application/json\r\n")
+            head.append(f"Content-Length: {len(body)}\r\n")
+            head.append("Connection: close\r\n\r\n")
+            writer.write("".join(head).encode("latin-1") + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(maxsplit=2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(f"malformed status line from {url}: {status_line!r}")
+            status = int(parts[1])
+            length = 0
+            while True:
+                raw = await reader.readline()
+                if raw in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = raw.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip() or "0")
+            raw_body = await reader.readexactly(length) if length else b""
+            document = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+            if not isinstance(document, dict):
+                document = {"body": document}
+            return status, document
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    return await asyncio.wait_for(_exchange(), timeout=timeout)
+
+
+@dataclass
+class WorkerHandle:
+    """Router-side view of one worker process."""
+
+    url: str
+    name: str | None = None
+    queue_depth: int = 0
+    draining: bool = False
+    healthy: bool = True
+    consecutive_failures: int = 0
+    registered_at: float = field(default_factory=time.time)
+
+    @property
+    def routable(self) -> bool:
+        return self.healthy and not self.draining
+
+    def public(self) -> dict:
+        return {
+            "url": self.url,
+            "name": self.name,
+            "queue_depth": self.queue_depth,
+            "draining": self.draining,
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+
+class RouterServer:
+    """HTTP front door that shards jobs onto serve workers by fingerprint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: list[str] | tuple[str, ...] = (),
+        spool: Path | str | None = None,
+        registry: MetricsRegistry | None = None,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        steal_watermark: int = DEFAULT_STEAL_WATERMARK,
+        health_interval_s: float = DEFAULT_HEALTH_INTERVAL_S,
+        health_failures: int = DEFAULT_HEALTH_FAILURES,
+        watch_poll_s: float = WATCH_POLL_S,
+    ):
+        self.host = host
+        self.port = port
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.queue_size = queue_size
+        self.steal_watermark = steal_watermark
+        self.health_interval_s = health_interval_s
+        self.health_failures = health_failures
+        self.watch_poll_s = watch_poll_s
+        self.table = JobTable()
+        self.journal = SpoolJournal(spool) if spool is not None else None
+        self.ring = HashRing()
+        self.workers: dict[str, WorkerHandle] = {}
+        for url in workers:
+            self._add_worker(url)
+        self._pending_primaries = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._server: asyncio.base_events.Server | None = None
+        self._dispatchers: set[asyncio.Task] = set()
+        self._health_task: asyncio.Task | None = None
+        self._started_at = time.time()
+        self.recovered = 0
+
+    # ------------------------------------------------------------------
+    # worker set
+    # ------------------------------------------------------------------
+    def _add_worker(self, url: str, name: str | None = None) -> WorkerHandle:
+        url = url.rstrip("/")
+        handle = self.workers.get(url)
+        if handle is None:
+            handle = WorkerHandle(url=url, name=name)
+            self.workers[url] = handle
+            self.ring.add(url)
+        elif name is not None:
+            handle.name = name
+        return handle
+
+    def _evict_worker(self, handle: WorkerHandle) -> None:
+        if self.ring.remove(handle.url):
+            handle.healthy = False
+            self.registry.counter("router.worker_evictions").inc()
+
+    def _routable(self) -> list[WorkerHandle]:
+        return [w for w in self.workers.values() if w.routable and w.url in self.ring]
+
+    def _choose_worker(self, fingerprint: str) -> tuple[WorkerHandle | None, bool]:
+        """Pick the worker for *fingerprint*: ``(worker, stolen)``.
+
+        The home worker (ring placement) wins unless it is gone, not
+        routable, or hotter than the steal watermark — then the job is
+        stolen by the least-loaded routable worker.
+        """
+        candidates = self._routable()
+        if not candidates:
+            return None, False
+        home = self.workers.get(self.ring.node(fingerprint) or "")
+        if (
+            home is not None
+            and home.routable
+            and home.queue_depth < self.steal_watermark
+        ):
+            return home, False
+        best = min(candidates, key=lambda w: (w.queue_depth, w.url))
+        stolen = home is not None and home.routable and best.url != home.url
+        return best, stolen
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._recover()
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        self._health_task = asyncio.create_task(self._health_loop(), name="router-health")
+
+    def _recover(self) -> None:
+        if self.journal is None:
+            return
+        for job_id, spec in self.journal.recover():
+            job, coalesced = self.table.submit(spec, job_id=job_id)
+            if not coalesced:
+                self._start_dispatch(job)
+            self.recovered += 1
+        self.table.reserve_next_id(self.journal.next_id)
+        if self.recovered:
+            self.registry.counter("router.recovered").inc(self.recovered)
+        self.journal.compact(self.table.pending(), next_id=self.table.next_id)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish watched jobs, persist the rest."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            await asyncio.gather(self._health_task, return_exceptions=True)
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        if self.journal is not None:
+            self.journal.compact(self.table.pending(), next_id=self.table.next_id)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._drained.set()
+
+    async def abort(self) -> None:
+        """Hard stop (simulated crash): no compaction, no settling."""
+        self._draining = True
+        tasks = list(self._dispatchers)
+        if self._health_task is not None:
+            tasks.append(self._health_task)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._drained.set()
+
+    async def run_until_signalled(self) -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # health monitoring
+    # ------------------------------------------------------------------
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.gather(
+                *(self._probe(worker) for worker in list(self.workers.values())),
+                return_exceptions=True,
+            )
+            await asyncio.sleep(self.health_interval_s)
+
+    async def _probe(self, worker: WorkerHandle) -> None:
+        try:
+            status, document = await _worker_request(
+                worker.url, "GET", "/healthz", timeout=max(2.0, self.health_interval_s)
+            )
+        except (OSError, asyncio.TimeoutError, ValueError, ConnectionError):
+            worker.consecutive_failures += 1
+            if worker.consecutive_failures >= self.health_failures and worker.url in self.ring:
+                self._evict_worker(worker)
+            return
+        if status != 200:
+            worker.consecutive_failures += 1
+            if worker.consecutive_failures >= self.health_failures and worker.url in self.ring:
+                self._evict_worker(worker)
+            return
+        worker.consecutive_failures = 0
+        worker.draining = bool(document.get("draining"))
+        depth = document.get("queue_depth")
+        if isinstance(depth, int):
+            worker.queue_depth = depth
+        name = document.get("name")
+        if isinstance(name, str) and name:
+            worker.name = name
+        if not worker.healthy and not worker.draining:
+            # Recovered: rejoin the ring (its old keys flow back home).
+            worker.healthy = True
+            self.ring.add(worker.url)
+            self.registry.counter("router.worker_rejoins").inc()
+
+    # ------------------------------------------------------------------
+    # dispatch + watch
+    # ------------------------------------------------------------------
+    def _start_dispatch(self, job: Job) -> None:
+        self._pending_primaries += 1
+        task = asyncio.get_running_loop().create_task(
+            self._dispatch_and_watch(job), name=f"dispatch-{job.id}"
+        )
+        self._dispatchers.add(task)
+        task.add_done_callback(self._dispatchers.discard)
+
+    def _settle(self, job: Job, result: dict | None, error: str | None) -> None:
+        if job.terminal:
+            return
+        settled = self.table.finish(job, result=result, error=error)
+        counter = "router.completed" if error is None else "router.failed"
+        self.registry.counter(counter).inc(len(settled))
+        self._pending_primaries -= 1
+        for done_job in settled:
+            latency_ms = int((done_job.finished_at - done_job.submitted_at) * 1000)
+            self.registry.histogram("router.job_latency_ms").observe(latency_ms)
+            if self.journal is not None:
+                self.journal.record_done(done_job)
+
+    async def _dispatch_and_watch(self, job: Job) -> None:
+        """Place one primary on a worker and follow it to a terminal state.
+
+        Every transport failure re-enters the placement loop: the ring may
+        have changed (dead worker evicted, drain observed), and the shared
+        result store guarantees a re-dispatched job never duplicates work
+        that already published.
+        """
+        starve_rounds = 0
+        while not job.terminal:
+            if self._draining:
+                return  # job stays pending; the journal re-dispatches it
+            worker, stolen = self._choose_worker(job.fingerprint)
+            if worker is None:
+                starve_rounds += 1
+                self.registry.counter("router.no_workers_waits").inc()
+                await asyncio.sleep(min(2.0, 0.1 * starve_rounds))
+                continue
+            starve_rounds = 0
+            if stolen:
+                self.registry.counter("router.steals").inc()
+            try:
+                status, document = await _worker_request(
+                    worker.url,
+                    "POST",
+                    "/v1/jobs",
+                    {"jobs": [job.spec.as_wire()], "ids": [job.id]},
+                    timeout=10.0,
+                )
+            except (OSError, asyncio.TimeoutError, ValueError, ConnectionError):
+                worker.consecutive_failures += 1
+                self.registry.counter("router.dispatch_errors").inc()
+                await asyncio.sleep(0.1)
+                continue
+            if status in (429, 503):
+                # Worker backpressure: let its queue depth refresh, then
+                # re-place (likely stealing to a colder worker).
+                worker.queue_depth = max(worker.queue_depth, self.steal_watermark)
+                await asyncio.sleep(0.2)
+                continue
+            if status >= 400:
+                self._settle(
+                    job, None, f"worker {worker.url} rejected dispatch: HTTP {status}: "
+                    f"{document.get('error', 'unknown')}"
+                )
+                return
+            worker.queue_depth += 1  # optimistic; corrected by next probe
+            self.registry.counter("router.dispatches").inc()
+            if await self._watch(job, worker):
+                return
+            self.registry.counter("router.redispatches").inc()
+
+    async def _watch(self, job: Job, worker: WorkerHandle) -> bool:
+        """Long-poll *worker* until *job* settles; False to re-dispatch."""
+        misses = 0
+        while not job.terminal:
+            if self._draining:
+                return True  # leave pending for the journal
+            try:
+                status, document = await _worker_request(
+                    worker.url,
+                    "GET",
+                    f"/v1/jobs/{job.id}?wait={self.watch_poll_s:g}",
+                    timeout=self.watch_poll_s + 5.0,
+                )
+            except (OSError, asyncio.TimeoutError, ValueError, ConnectionError):
+                misses += 1
+                if misses >= 2 or not worker.routable:
+                    return False  # worker presumed gone: re-dispatch
+                await asyncio.sleep(0.2)
+                continue
+            misses = 0
+            if status == 404:
+                # The worker restarted without its table: re-dispatch.
+                return False
+            if status != 200:
+                await asyncio.sleep(0.2)
+                continue
+            if document.get("status") == "running" and job.status == QUEUED:
+                self.table.mark_running(job)  # mirror for status listings
+            if document.get("status") in ("done", "failed", "cancelled"):
+                self._settle(job, document.get("result"), document.get("error"))
+                return True
+        return True
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                method, path, query, body = request
+                self.registry.counter("router.http_requests").inc()
+                response = await self._route(method, path, query, body)
+            except _HttpError as error:
+                response = _encode_response(
+                    error.status, {"error": str(error), **error.payload}, error.headers
+                )
+            except ProtocolError as error:
+                response = _encode_response(400, {"error": str(error)})
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as error:  # noqa: BLE001 - never kill the acceptor
+                self.registry.counter("router.http_errors").inc()
+                response = _encode_response(
+                    500, {"error": f"{type(error).__name__}: {error}"}
+                )
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, method: str, path: str, query: dict, body: bytes) -> bytes:
+        if path == "/healthz" and method == "GET":
+            return _encode_response(
+                200,
+                {
+                    "ok": True,
+                    "role": "router",
+                    "draining": self._draining,
+                    "queue_depth": self._pending_primaries,
+                    "workers": len(self._routable()),
+                    "protocol_version": PROTOCOL_VERSION,
+                },
+            )
+        if path == "/metrics" and method == "GET":
+            return _encode_response(200, self._metrics_document())
+        if path == "/v1/workers" and method == "GET":
+            return _encode_response(
+                200,
+                {"workers": [w.public() for w in sorted(self.workers.values(), key=lambda w: w.url)]},
+            )
+        if path == "/v1/workers/register" and method == "POST":
+            return self._register_worker(body)
+        if path == "/v1/jobs":
+            if method == "POST":
+                return self._post_jobs(body)
+            if method == "GET":
+                return self._list_jobs(query)
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            if method == "GET":
+                return await self._get_job(job_id, query)
+            if method == "DELETE":
+                return self._cancel_job(job_id)
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _register_worker(self, body: bytes) -> bytes:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict) or not isinstance(payload.get("url"), str):
+            raise _HttpError(400, "register body must be {'url': ..., 'name'?: ...}")
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            raise _HttpError(400, "name must be a string")
+        handle = self._add_worker(payload["url"], name=name)
+        return _encode_response(200, {"registered": handle.public()})
+
+    def _post_jobs(self, body: bytes) -> bytes:
+        if self._draining:
+            raise _HttpError(503, "router is draining", {"Retry-After": "5"})
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"request body is not valid JSON: {error}") from None
+        specs = parse_batch(payload)
+        new_fingerprints: set[str] = set()
+        new_work = 0
+        for spec in specs:
+            digest = spec.fingerprint()
+            if digest in new_fingerprints or self.table.active_primary(digest) is not None:
+                continue
+            new_fingerprints.add(digest)
+            new_work += 1
+        if self._pending_primaries + new_work > self.queue_size:
+            self.registry.counter("router.rejected_429").inc()
+            raise _HttpError(
+                429,
+                f"cluster queue full ({self._pending_primaries}/{self.queue_size} pending)",
+                {"Retry-After": str(self._retry_after())},
+            )
+        accepted = []
+        for spec in specs:
+            job, coalesced = self.table.submit(spec)
+            if self.journal is not None:
+                self.journal.record_submit(job)
+            if coalesced:
+                self.registry.counter("router.coalesce_hits").inc()
+            else:
+                self._start_dispatch(job)
+            self.registry.counter("router.submitted").inc()
+            accepted.append(
+                {
+                    "id": job.id,
+                    "status": job.status,
+                    "fingerprint": job.fingerprint,
+                    "coalesced": coalesced,
+                    "coalesced_into": job.coalesced_into,
+                }
+            )
+        return _encode_response(202, {"protocol_version": PROTOCOL_VERSION, "jobs": accepted})
+
+    def _retry_after(self) -> int:
+        workers = max(1, len(self._routable()))
+        return max(1, min(60, self._pending_primaries // workers))
+
+    def _list_jobs(self, query: dict) -> bytes:
+        status = query.get("status")
+        jobs = [
+            job.public(include_result=False)
+            for job in sorted(self.table.jobs.values(), key=lambda j: j.id)
+            if status is None or job.status == status
+        ]
+        return _encode_response(200, {"jobs": jobs})
+
+    async def _get_job(self, job_id: str, query: dict) -> bytes:
+        job = self.table.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(
+                404,
+                f"no such job {job_id!r}",
+                payload={"next_id": self.table.next_id},
+            )
+        wait = 0.0
+        if "wait" in query:
+            try:
+                wait = min(MAX_LONGPOLL_S, max(0.0, float(query["wait"])))
+            except ValueError:
+                raise _HttpError(400, "wait must be a number of seconds") from None
+        deadline = time.monotonic() + wait
+        while not job.terminal and time.monotonic() < deadline and not self._draining:
+            remaining = deadline - time.monotonic()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    job.done_event.wait(), timeout=min(_LONGPOLL_SLICE_S, remaining)
+                )
+        return _encode_response(200, job.public())
+
+    def _cancel_job(self, job_id: str) -> bytes:
+        job = self.table.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(
+                404,
+                f"no such job {job_id!r}",
+                payload={"next_id": self.table.next_id},
+            )
+        if job.terminal:
+            return _encode_response(200, job.public(include_result=False))
+        if job.status != QUEUED:
+            raise _HttpError(409, f"job {job_id} is {job.status}; only queued jobs cancel")
+        was_primary = job.coalesced_into is None
+        settled = self.table.cancel(job)
+        self.registry.counter("router.cancelled").inc(len(settled))
+        if was_primary:
+            self._pending_primaries -= 1
+        if self.journal is not None:
+            for cancelled in settled:
+                self.journal.record_done(cancelled)
+        return _encode_response(200, job.public(include_result=False))
+
+    # ------------------------------------------------------------------
+    def _metrics_document(self) -> dict:
+        histogram = self.registry.get("router.job_latency_ms")
+        quantiles = {"p50": None, "p90": None, "p99": None}
+        if histogram is not None and histogram.total:
+            points = sorted(histogram.buckets.items())
+            total = histogram.total
+            for label, fraction in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+                threshold = fraction * total
+                seen = 0
+                for bucket, count in points:
+                    seen += count
+                    if seen >= threshold:
+                        quantiles[label] = bucket
+                        break
+        self.registry.counter("router.queue_depth").set(self._pending_primaries)
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "router": {
+                "draining": self._draining,
+                "queue_depth": self._pending_primaries,
+                "queue_size": self.queue_size,
+                "steal_watermark": self.steal_watermark,
+                "jobs_total": len(self.table.jobs),
+                "uptime_s": round(time.time() - self._started_at, 3),
+                "latency_ms": quantiles,
+                "workers": [w.public() for w in sorted(self.workers.values(), key=lambda w: w.url)],
+            },
+            "metrics": self.registry.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Embedding helpers
+# ----------------------------------------------------------------------
+async def _router_main(router: RouterServer, announce=None) -> None:
+    await router.start()
+    if announce is not None:
+        announce(router)
+    await router.run_until_signalled()
+
+
+def run_router(router: RouterServer, announce=None) -> int:
+    """Blocking entry point used by ``repro serve --router``."""
+    asyncio.run(_router_main(router, announce))
+    return 0
+
+
+class BackgroundRouter:
+    """A RouterServer on its own thread + event loop (tests, fixtures)."""
+
+    def __init__(self, **router_kwargs):
+        self._kwargs = router_kwargs
+        self.router: RouterServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stop_requested: asyncio.Event | None = None
+        self._graceful = True
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.router is not None
+        return self.router.port
+
+    @property
+    def base_url(self) -> str:
+        assert self.router is not None
+        return f"http://{self.router.host}:{self.router.port}"
+
+    async def _main(self) -> None:
+        self._stop_requested = asyncio.Event()
+        self.router = RouterServer(**self._kwargs)
+        try:
+            await self.router.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self._stop_requested.wait()
+        if self._graceful:
+            await self.router.drain()
+        else:
+            await self.router.abort()
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        try:
+            self._loop.run_until_complete(self._main())
+        except BaseException:
+            self._ready.set()
+        finally:
+            self._loop.close()
+
+    def start(self) -> "BackgroundRouter":
+        self._thread = threading.Thread(target=self._run, name="router-bg", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.router is None or self._loop is None:
+            raise RuntimeError("background router failed to start")
+        return self
+
+    def stop(self, graceful: bool = True) -> None:
+        if self._loop is None or self._thread is None or self._stop_requested is None:
+            return
+        self._graceful = graceful
+        # Idempotent after the loop closed (crash-simulation teardowns).
+        with contextlib.suppress(RuntimeError):
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "BackgroundRouter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(graceful=True)

@@ -41,7 +41,7 @@ from repro.serve.protocol import (
     PROTOCOL_VERSION,
     QUEUED,
     ProtocolError,
-    parse_batch,
+    parse_batch_with_ids,
 )
 
 #: Default bind and capacity knobs (overridable per server).
@@ -64,10 +64,19 @@ _SENTINEL = (-1, 0, -1, None)
 class _HttpError(Exception):
     """Internal: mapped to an HTTP error response."""
 
-    def __init__(self, status: int, message: str, headers: dict | None = None):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: dict | None = None,
+        payload: dict | None = None,
+    ):
         super().__init__(message)
         self.status = status
         self.headers = headers or {}
+        #: extra fields merged into the JSON error body (e.g. the id
+        #: watermark on 404s, so clients can classify missing jobs).
+        self.payload = payload or {}
 
 
 _REASONS = {
@@ -137,9 +146,12 @@ class ServeServer:
         spool: Path | str | None = None,
         executor: JobExecutor | None = None,
         registry: MetricsRegistry | None = None,
+        name: str | None = None,
     ):
         self.host = host
         self.port = port
+        #: worker identity, reported on /healthz (cluster diagnostics)
+        self.name = name
         self.workers = workers
         self.queue_size = queue_size
         self.executor = executor if executor is not None else JobExecutor()
@@ -289,7 +301,7 @@ class ServeServer:
                 response = await self._route(method, path, query, body)
             except _HttpError as error:
                 response = _encode_response(
-                    error.status, {"error": str(error)}, error.headers
+                    error.status, {"error": str(error), **error.payload}, error.headers
                 )
             except ProtocolError as error:
                 response = _encode_response(400, {"error": str(error)})
@@ -311,7 +323,16 @@ class ServeServer:
 
     async def _route(self, method: str, path: str, query: dict, body: bytes) -> bytes:
         if path == "/healthz" and method == "GET":
-            return _encode_response(200, {"ok": True, "draining": self._draining})
+            return _encode_response(
+                200,
+                {
+                    "ok": True,
+                    "draining": self._draining,
+                    "queue_depth": self._queued_primaries,
+                    "name": self.name,
+                    "protocol_version": PROTOCOL_VERSION,
+                },
+            )
         if path == "/metrics" and method == "GET":
             return _encode_response(200, self._metrics_document())
         if path == "/v1/jobs":
@@ -336,7 +357,7 @@ class ServeServer:
             payload = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise _HttpError(400, f"request body is not valid JSON: {error}") from None
-        specs = parse_batch(payload)
+        specs, assigned_ids = parse_batch_with_ids(payload)
         # Atomic admission: count how many specs are *new work* and check
         # capacity before accepting anything, so a rejected batch leaves
         # no partial state for the client's retry to collide with.
@@ -356,8 +377,24 @@ class ServeServer:
                 {"Retry-After": str(self._retry_after())},
             )
         accepted = []
-        for spec in specs:
-            job, coalesced = self.table.submit(spec)
+        for index, spec in enumerate(specs):
+            job_id = assigned_ids[index] if assigned_ids is not None else None
+            if job_id is not None and job_id in self.table.jobs:
+                # Idempotent re-dispatch: the router retried a submission
+                # the worker already holds — acknowledge the existing job
+                # instead of forking its identity.
+                job = self.table.jobs[job_id]
+                accepted.append(
+                    {
+                        "id": job.id,
+                        "status": job.status,
+                        "fingerprint": job.fingerprint,
+                        "coalesced": job.coalesced_into is not None,
+                        "coalesced_into": job.coalesced_into,
+                    }
+                )
+                continue
+            job, coalesced = self.table.submit(spec, job_id=job_id)
             if self.journal is not None:
                 self.journal.record_submit(job)
             if coalesced:
@@ -388,7 +425,13 @@ class ServeServer:
     async def _get_job(self, job_id: str, query: dict) -> bytes:
         job = self.table.jobs.get(job_id)
         if job is None:
-            raise _HttpError(404, f"no such job {job_id!r}")
+            # The id watermark lets clients tell "completed before a
+            # restart and compacted away" from "never issued".
+            raise _HttpError(
+                404,
+                f"no such job {job_id!r}",
+                payload={"next_id": self.table.next_id},
+            )
         wait = 0.0
         if "wait" in query:
             try:
@@ -407,7 +450,11 @@ class ServeServer:
     def _cancel_job(self, job_id: str) -> bytes:
         job = self.table.jobs.get(job_id)
         if job is None:
-            raise _HttpError(404, f"no such job {job_id!r}")
+            raise _HttpError(
+                404,
+                f"no such job {job_id!r}",
+                payload={"next_id": self.table.next_id},
+            )
         if job.terminal:
             return _encode_response(200, job.public(include_result=False))
         if job.status != QUEUED:
@@ -535,7 +582,10 @@ class BackgroundServer:
         if self._loop is None or self._thread is None or self._stop_requested is None:
             return
         self._graceful = graceful
-        self._loop.call_soon_threadsafe(self._stop_requested.set)
+        # Idempotent: a second stop after the loop already closed
+        # (e.g. fixture teardown after a simulated crash) is a no-op.
+        with contextlib.suppress(RuntimeError):
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
         self._thread.join(timeout=60)
 
     def __enter__(self) -> "BackgroundServer":

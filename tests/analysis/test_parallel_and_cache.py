@@ -142,7 +142,9 @@ class TestCacheInvalidation:
 
     def test_corrupt_record_is_a_miss(self, tmp_path):
         cache = self._store_one(tmp_path)
-        for path in tmp_path.glob("*.json"):
+        blobs = list(tmp_path.rglob("*.json"))
+        assert blobs, "store published no blob"
+        for path in blobs:
             path.write_text("{ not json")
         assert cache.load("gzip", 42, INSTS, WARMUP, FOUR_WIDE, None) is None
 

@@ -1,0 +1,222 @@
+"""Contract tests for the shared content-addressed result store.
+
+The store is the durability substrate of the cluster serving tier
+(docs/SERVING.md, "Cluster mode"): atomic first-writer-wins publication,
+checksum-verified reads with quarantine of torn blobs, and cross-process
+claims that keep two processes from simulating one fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+
+from repro.analysis.cache import ResultCache, record_checksum
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.store import (
+    QUARANTINE_DIR,
+    DirectoryStore,
+    MemoryStore,
+)
+from repro.pipeline.config import FOUR_WIDE
+
+INSTS = 300
+WARMUP = 150
+
+
+def _record(fingerprint: str, payload: int = 1) -> dict:
+    record = {"fingerprint": fingerprint, "payload": payload}
+    record["checksum"] = record_checksum(record)
+    return record
+
+
+FP = "ab" + "0" * 62
+
+
+class TestPublication:
+    def test_round_trip(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        assert store.get(FP) is None
+        assert store.put(FP, _record(FP)) is True
+        loaded = store.get(FP)
+        assert loaded is not None and loaded["payload"] == 1
+        assert FP in store
+        assert store.fingerprints() == [FP]
+
+    def test_first_writer_wins(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        assert store.put(FP, _record(FP, payload=1)) is True
+        assert store.put(FP, _record(FP, payload=2)) is False
+        assert store.get(FP)["payload"] == 1
+        assert store.duplicate_publishes == 1
+
+    def test_concurrent_writers_publish_exactly_one_blob(self, tmp_path):
+        """N racing writers on one fingerprint leave exactly one blob."""
+        store = DirectoryStore(tmp_path)
+        barrier = threading.Barrier(8)
+        outcomes = []
+
+        def publish(index: int) -> None:
+            barrier.wait()
+            outcomes.append(store.put(FP, _record(FP, payload=index)))
+
+        threads = [threading.Thread(target=publish, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        blobs = [
+            blob
+            for blob in tmp_path.rglob("*.json")
+            if QUARANTINE_DIR not in blob.parts
+        ]
+        assert len(blobs) == 1
+        # The surviving blob is complete and verifiable, whoever won.
+        record = store.get(FP)
+        assert record is not None and record["payload"] in range(8)
+
+    def test_blobs_are_sharded_by_prefix(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        store.put(FP, _record(FP))
+        assert (tmp_path / FP[:2] / f"{FP}.json").is_file()
+
+
+class TestQuarantine:
+    def test_torn_blob_is_quarantined_and_recomputable(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        store.put(FP, _record(FP))
+        path = tmp_path / FP[:2] / f"{FP}.json"
+        # Truncate mid-record: the classic torn write.
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.get(FP) is None
+        assert store.quarantined == 1
+        # The evidence is preserved, the slot reads empty, and a fresh
+        # publication (the recompute) lands cleanly.
+        quarantined = list((tmp_path / QUARANTINE_DIR).glob(f"{FP}.*.json"))
+        assert len(quarantined) == 1
+        assert store.put(FP, _record(FP, payload=9)) is True
+        assert store.get(FP)["payload"] == 9
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        store.put(FP, _record(FP))
+        path = tmp_path / FP[:2] / f"{FP}.json"
+        record = json.loads(path.read_text())
+        record["payload"] = 999  # tamper without re-stamping
+        path.write_text(json.dumps(record))
+        assert store.get(FP) is None
+        assert store.quarantined == 1
+
+    def test_wrong_fingerprint_is_quarantined(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        other = "cd" + "0" * 62
+        store.put(FP, _record(FP))
+        # Copy the valid blob into another fingerprint's slot.
+        source = tmp_path / FP[:2] / f"{FP}.json"
+        target = tmp_path / other[:2] / f"{other}.json"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(source.read_bytes())
+        assert store.get(other) is None
+        assert store.quarantined == 1
+
+    def test_quarantine_excluded_from_listing(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        store.put(FP, _record(FP))
+        path = tmp_path / FP[:2] / f"{FP}.json"
+        path.write_text("{ torn")
+        assert store.get(FP) is None
+        assert store.fingerprints() == []
+
+
+class TestClaims:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        claim = store.claim(FP)
+        assert claim is not None
+        assert store.claim(FP) is None
+        claim.release()
+        second = store.claim(FP)
+        assert second is not None
+        second.release()
+
+    def test_release_is_idempotent(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        claim = store.claim(FP)
+        claim.release()
+        claim.release()
+
+    def test_stale_claim_is_broken(self, tmp_path):
+        """A claim abandoned by a dead holder does not wedge the slot."""
+        holder = DirectoryStore(tmp_path, claim_stale_s=0.05)
+        assert holder.claim(FP) is not None  # never released: holder "died"
+        time.sleep(0.1)
+        contender = DirectoryStore(tmp_path, claim_stale_s=0.05)
+        taken_over = contender.claim(FP)
+        assert taken_over is not None
+        taken_over.release()
+
+    def test_memory_store_always_grants(self):
+        store = MemoryStore()
+        first, second = store.claim(FP), store.claim(FP)
+        assert first is not None and second is not None
+
+    def test_wait_sees_publication(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+
+        def publish_soon():
+            time.sleep(0.05)
+            store.put(FP, _record(FP))
+
+        thread = threading.Thread(target=publish_soon)
+        thread.start()
+        record = store.wait(FP, timeout=5.0)
+        thread.join()
+        assert record is not None and record["payload"] == 1
+
+    def test_wait_times_out_to_none(self, tmp_path):
+        store = DirectoryStore(tmp_path)
+        assert store.wait(FP, timeout=0.05) is None
+
+
+def _run_one(directory, queue):
+    runner = ExperimentRunner(
+        insts=INSTS,
+        warmup=WARMUP,
+        benchmarks=("gzip",),
+        cache=ResultCache(directory),
+    )
+    result = runner.result("gzip", FOUR_WIDE)
+    simulated = runner.metrics.get("runner.simulated")
+    queue.put(
+        {
+            "simulated": simulated.value if simulated is not None else 0,
+            "cycles": result.total_cycles,
+            "committed": result.total_committed,
+        }
+    )
+
+
+class TestCrossProcessSingleflight:
+    def test_two_runner_processes_share_one_simulation(self, tmp_path):
+        """Two ExperimentRunner *processes* on one store: one simulation.
+
+        The store claim makes one process the computing leader; the other
+        waits for the published blob instead of duplicating the work.
+        """
+        context = multiprocessing.get_context()
+        queue = context.Queue()
+        processes = [
+            context.Process(target=_run_one, args=(tmp_path / "store", queue))
+            for _ in range(2)
+        ]
+        for process in processes:
+            process.start()
+        outcomes = [queue.get(timeout=120) for _ in processes]
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        assert sum(outcome["simulated"] for outcome in outcomes) == 1
+        signatures = {(o["cycles"], o["committed"]) for o in outcomes}
+        assert len(signatures) == 1  # the waiter got the leader's result

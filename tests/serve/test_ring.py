@@ -1,0 +1,63 @@
+"""Properties of the consistent-hash ring the cluster router shards on."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.serve.ring import HashRing
+
+KEYS = [f"fingerprint-{index:04d}" for index in range(2000)]
+
+
+class TestHashRing:
+    def test_empty_ring_maps_nothing(self):
+        ring = HashRing()
+        assert ring.node("anything") is None
+        assert len(ring) == 0
+
+    def test_mapping_is_deterministic(self):
+        first = HashRing(["w1", "w2", "w3"])
+        second = HashRing(["w3", "w1", "w2"])  # insertion order is irrelevant
+        assert [first.node(key) for key in KEYS] == [second.node(key) for key in KEYS]
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node(key) == "only" for key in KEYS)
+
+    def test_add_and_remove_round_trip(self):
+        ring = HashRing(["w1"])
+        assert ring.add("w2") is True
+        assert ring.add("w2") is False
+        assert "w2" in ring and len(ring) == 2
+        assert ring.remove("w2") is True
+        assert ring.remove("w2") is False
+        assert ring.nodes() == ["w1"]
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing(["w1", "w2", "w3"])
+        counts = Counter(ring.node(key) for key in KEYS)
+        assert set(counts) == {"w1", "w2", "w3"}
+        # Virtual replicas keep the split from degenerating; exact shares
+        # vary with the hash but every node must carry real load.
+        assert min(counts.values()) > len(KEYS) * 0.15
+        assert max(counts.values()) < len(KEYS) * 0.55
+
+    def test_removal_only_moves_the_dead_nodes_keys(self):
+        """The consistency property: survivors keep their assignments."""
+        ring = HashRing(["w1", "w2", "w3"])
+        before = {key: ring.node(key) for key in KEYS}
+        ring.remove("w2")
+        after = {key: ring.node(key) for key in KEYS}
+        for key in KEYS:
+            if before[key] != "w2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] in ("w1", "w3")
+
+    def test_addition_only_takes_keys_for_the_new_node(self):
+        ring = HashRing(["w1", "w2"])
+        before = {key: ring.node(key) for key in KEYS}
+        ring.add("w3")
+        after = {key: ring.node(key) for key in KEYS}
+        for key in KEYS:
+            assert after[key] == before[key] or after[key] == "w3"
