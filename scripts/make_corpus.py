@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""(Re)generate the committed trace corpus under workloads/traces/.
+
+Capture is byte-deterministic (deterministic emulator, no timestamps in
+the tracefile format), so running this script on a clean checkout must
+reproduce the committed files bit-for-bit; with ``--check`` it verifies
+exactly that without touching the committed files and exits non-zero on
+any drift.  Entries marked ``committed=False`` (the 1M-instruction scale
+trace) are skipped unless ``--all`` is given.
+
+Run from the repository root:  PYTHONPATH=src python scripts/make_corpus.py
+"""
+
+import argparse
+import hashlib
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.trace import CORPUS, capture_corpus_entry, corpus_path  # noqa: E402
+
+
+def file_digest(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify committed files match a fresh capture instead of writing",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="include entries not committed to the repo (the 1M-inst trace)",
+    )
+    args = parser.parse_args()
+
+    failures = 0
+    for entry in CORPUS:
+        if not entry.committed and not args.all:
+            continue
+        target = corpus_path(entry)
+        if args.check:
+            if not target.is_file():
+                print(f"MISSING  {entry.name}: {target}")
+                failures += 1
+                continue
+            with tempfile.TemporaryDirectory() as scratch:
+                fresh = Path(scratch) / target.name
+                header = capture_corpus_entry(entry, fresh)
+                if file_digest(fresh) != file_digest(target):
+                    print(f"DRIFT    {entry.name}: committed file != fresh capture")
+                    failures += 1
+                else:
+                    print(f"ok       {entry.name}  insts={header['insts']}")
+        else:
+            header = capture_corpus_entry(entry, target)
+            print(
+                f"captured {entry.name}  insts={header['insts']}  "
+                f"sha={header['trace_sha256'][:12]}  -> {target}"
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

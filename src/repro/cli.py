@@ -8,7 +8,11 @@ Commands:
 * ``experiment`` — regenerate one or more of the paper's tables/figures;
 * ``prefetch`` — warm the on-disk result cache with the base-machine runs;
 * ``export-stats`` — write schema-versioned stats JSON, one per run;
-* ``trace`` — render a pipeline trace (ASCII or Chrome/Perfetto JSON);
+* ``trace`` — the tracefile toolbox (docs/TRACES.md): ``capture`` a
+  kernel/benchmark execution to a binary tracefile, ``info`` a
+  tracefile's header, ``run`` a tracefile (full or SimPoint-sampled),
+  and ``render`` a pipeline trace (ASCII or Chrome/Perfetto JSON);
+* ``workloads`` — list kernels, synthetic profiles and the trace corpus;
 * ``report`` — regression scorecard: diff a stats tree against a baseline;
 * ``fuzz`` — differential fuzzing: random programs co-simulated against
   the functional emulator with pipeline invariant checkers armed
@@ -208,6 +212,16 @@ def _cmd_export_stats(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    handlers = {
+        "render": _cmd_trace_render,
+        "capture": _cmd_trace_capture,
+        "info": _cmd_trace_info,
+        "run": _cmd_trace_run,
+    }
+    return handlers[args.trace_command](args)
+
+
+def _cmd_trace_render(args) -> int:
     config = _machine(args)
     if args.name in KERNELS:
         feed = EmulatorFeed(kernel_program(args.name), name=args.name)
@@ -226,6 +240,174 @@ def _cmd_trace(args) -> int:
         print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)")
     else:
         print(render_pipetrace(processor, first_seq=args.first, count=args.count or 16))
+    return 0
+
+
+def _kernel_kwargs(pairs: list[str]) -> dict:
+    kwargs = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key or not value:
+            raise ReproError(f"--arg wants NAME=INT, got {pair!r}")
+        try:
+            kwargs[key] = int(value)
+        except ValueError:
+            raise ReproError(f"--arg value for {key!r} must be an integer") from None
+    return kwargs
+
+
+def _cmd_trace_capture(args) -> int:
+    from repro.trace import (
+        CORPUS_BY_NAME,
+        capture_corpus_entry,
+        capture_kernel,
+        capture_stream,
+        corpus_path,
+    )
+
+    if args.corpus is None and args.source is None:
+        print("error: give a kernel/benchmark name or --corpus NAME", file=sys.stderr)
+        return 2
+    if args.corpus is not None:
+        entry = CORPUS_BY_NAME.get(args.corpus)
+        if entry is None:
+            known = ", ".join(sorted(CORPUS_BY_NAME))
+            print(f"unknown corpus trace {args.corpus!r} (corpus: {known})", file=sys.stderr)
+            return 2
+        path = corpus_path(entry)
+        header = capture_corpus_entry(entry, path)
+    elif args.source in KERNELS:
+        path = args.out or f"{args.source}.hpt"
+        header = capture_kernel(
+            args.source,
+            path,
+            name=args.name or args.source,
+            limit=args.limit,
+            **_kernel_kwargs(args.arg),
+        )
+    elif args.source in SPEC_BENCHMARKS:
+        if args.limit is None:
+            print(
+                "error: synthetic benchmarks are unbounded; --limit is required",
+                file=sys.stderr,
+            )
+            return 2
+        path = args.out or f"{args.source}.hpt"
+        workload = SyntheticWorkload(get_profile(args.source), seed=args.seed)
+        header = capture_stream(
+            workload,
+            path,
+            name=args.name or f"{args.source}-s{args.seed}",
+            limit=args.limit,
+            source={"kind": "synthetic", "benchmark": args.source, "seed": args.seed},
+        )
+    else:
+        print(f"unknown kernel/benchmark {args.source!r}", file=sys.stderr)
+        return 2
+    print(
+        f"captured {header['name']}  insts={header['insts']}  "
+        f"sha={header['trace_sha256'][:12]}  -> {path}"
+    )
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    from repro.trace import resolve_trace, trace_info
+
+    info = trace_info(resolve_trace(args.trace))
+    for key in (
+        "path",
+        "name",
+        "insts",
+        "bytes",
+        "trace_sha256",
+        "program_sha256",
+        "isa_version",
+        "format_version",
+        "source",
+    ):
+        print(f"{key + ':':<16}{info[key]}")
+    return 0
+
+
+def _cmd_trace_run(args) -> int:
+    from repro.analysis.cache import ResultCache
+    from repro.trace import load_corpus_feed, run_full, run_sampled
+
+    config = apply_backend(_machine(args), args.backend)
+    feed = load_corpus_feed(args.trace)
+    cache = None if args.no_cache else ResultCache.from_env()
+    if args.sampled:
+        report = run_sampled(
+            feed,
+            config,
+            interval=args.interval,
+            k=args.k,
+            warmup=args.sample_warmup,
+            dims=args.dims,
+            seed=args.sample_seed,
+            warm_caches=not args.no_warm_caches,
+            cache=cache,
+        )
+        print(f"machine:   {report['config']}")
+        print(f"trace:     {report['trace']} ({report['insts']} insts)")
+        print(f"intervals: {report['intervals']} x {report['interval']}")
+        print(f"clusters:  {report['clusters']} (of k={report['k']})")
+        print(f"simulated: {report['simulated_insts']} insts "
+              f"(coverage {report['coverage']:.3f})")
+        print(f"weighted IPC: {report['weighted_ipc']:.4f}")
+        if args.report_out is not None:
+            import json
+
+            from pathlib import Path
+
+            out = Path(args.report_out)
+            out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {out}")
+    else:
+        result = run_full(
+            feed, config, insts=args.insts, warmup=args.warmup, cache=cache
+        )
+        stats = result.stats
+        print(f"machine:   {result.config_name}")
+        print(f"trace:     {result.workload_name}")
+        print(f"cycles:    {stats.cycles}")
+        print(f"committed: {stats.committed}")
+        print(f"IPC:       {stats.ipc:.4f}")
+        print(f"branch mispredict rate: {stats.branch_mispredict_rate:.2%}")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    from repro.trace import corpus_listing
+
+    print("kernels (assembled, run to completion):")
+    for name in sorted(KERNELS):
+        feed = EmulatorFeed(kernel_program(name), name=name)
+        count = sum(1 for _ in feed)
+        print(f"  {name:<14} {count:>8} insts")
+    print()
+    print("synthetic profiles (unbounded, seeded):")
+    print("  " + ", ".join(SPEC_BENCHMARKS))
+    print()
+    print("trace corpus (workloads/traces/, see docs/TRACES.md):")
+    for row in corpus_listing():
+        parameters = ", ".join(f"{k}={v}" for k, v in row["kwargs"].items())
+        origin = f"{row['kernel']}({parameters})"
+        if row.get("missing"):
+            state = (
+                "uncommitted; captured by CI"
+                if not row["committed"]
+                else "MISSING — run scripts/make_corpus.py"
+            )
+            print(f"  {row['name']:<16} {origin:<24} [{state}]")
+        elif row.get("error"):
+            print(f"  {row['name']:<16} {origin:<24} [unreadable: {row['error']}]")
+        else:
+            print(
+                f"  {row['name']:<16} {origin:<24} {row['insts']:>8} insts  "
+                f"{row['bytes']:>7} B  sha {row['trace_sha256'][:12]}"
+            )
     return 0
 
 
@@ -304,11 +486,8 @@ def _cmd_report(args) -> int:
     return card.exit_code
 
 
-def _run_spec_from_args(args, benchmark: str) -> dict:
-    """Wire-level run spec from submit's machine/run flags."""
-    spec = {"kind": "run", "benchmark": benchmark, "width": args.width,
-            "seed": args.seed, "insts": args.insts, "warmup": args.warmup,
-            "priority": args.priority}
+def _machine_spec_fields(args, spec: dict) -> dict:
+    """Fold submit's machine flags into a wire-level spec."""
     if args.scheduler != "base":
         spec["scheduler"] = args.scheduler
     if args.regfile != "base":
@@ -324,6 +503,40 @@ def _run_spec_from_args(args, benchmark: str) -> dict:
     if args.backend is not None:
         spec["backend"] = args.backend
     return spec
+
+
+def _run_spec_from_args(args, benchmark: str) -> dict:
+    """Wire-level run spec from submit's machine/run flags."""
+    spec = {"kind": "run", "benchmark": benchmark, "width": args.width,
+            "seed": args.seed, "priority": args.priority,
+            "insts": args.insts if args.insts is not None else 15_000,
+            "warmup": args.warmup if args.warmup is not None else 20_000}
+    return _machine_spec_fields(args, spec)
+
+
+def _trace_spec_from_args(args, ref: str) -> dict:
+    """Wire-level trace spec; resolves the content hash locally if it can.
+
+    A locally resolvable reference gets its ``content_hash`` pinned on the
+    client, so the job identity is the trace *content* even if the server
+    resolves the name to a different checkout path.  Unresolvable
+    references are sent bare and resolved server-side at parse time.
+    """
+    spec = {"kind": "trace", "trace": ref, "width": args.width,
+            "priority": args.priority}
+    if args.insts is not None:
+        spec["insts"] = args.insts
+    if args.warmup is not None:
+        spec["warmup"] = args.warmup
+    if args.sampled:
+        spec["sampled"] = True
+    try:
+        from repro.trace import read_header, resolve_trace
+
+        spec["content_hash"] = read_header(resolve_trace(ref))["trace_sha256"]
+    except ReproError:
+        pass
+    return _machine_spec_fields(args, spec)
 
 
 def _cmd_serve(args) -> int:
@@ -410,15 +623,27 @@ def _cmd_submit(args) -> int:
     from repro.obs.export import write_stats_json
     from repro.serve.client import JobFailed, ServeClient
 
-    benchmarks = (
-        SPEC_BENCHMARKS if args.benchmarks == ["all"] else tuple(args.benchmarks)
-    )
-    unknown = [name for name in benchmarks if name not in SPEC_BENCHMARKS]
-    if unknown:
-        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
-        return 2
+    if args.trace:
+        if args.benchmarks == ["all"]:
+            from repro.trace import CORPUS
+
+            names = tuple(entry.name for entry in CORPUS if entry.committed)
+        else:
+            names = tuple(args.benchmarks)
+        specs = [_trace_spec_from_args(args, ref) for ref in names]
+    else:
+        if args.sampled:
+            print("error: --sampled requires --trace", file=sys.stderr)
+            return 2
+        benchmarks = (
+            SPEC_BENCHMARKS if args.benchmarks == ["all"] else tuple(args.benchmarks)
+        )
+        unknown = [name for name in benchmarks if name not in SPEC_BENCHMARKS]
+        if unknown:
+            print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        specs = [_run_spec_from_args(args, benchmark) for benchmark in benchmarks]
     client = ServeClient(args.server, timeout=args.timeout)
-    specs = [_run_spec_from_args(args, benchmark) for benchmark in benchmarks]
     receipts = client.submit(specs)
     for receipt in receipts:
         suffix = f" (coalesced into {receipt['coalesced_into']})" if receipt["coalesced"] else ""
@@ -433,9 +658,28 @@ def _cmd_submit(args) -> int:
             print(f"{receipt['id']}  failed: {error}", file=sys.stderr)
             failures += 1
             continue
-        stats = document["result"]["stats"]
+        result = document["result"]
+        if "report" in result:
+            report = result["report"]
+            print(
+                f"{receipt['id']}  done  {report['trace']}  "
+                f"weighted IPC {report['weighted_ipc']:.4f}  "
+                f"coverage {report['coverage']:.3f}"
+            )
+            if args.out is not None:
+                import json
+                from pathlib import Path
+
+                out_dir = Path(args.out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                out = out_dir / f"{report['trace']}.report.json"
+                out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+                print(f"  wrote {out}")
+            continue
+        stats = result["stats"]
         ipc = stats["derived"]["ipc"]
-        print(f"{receipt['id']}  done  {stats['run']['benchmark']}  IPC {ipc:.4f}")
+        label = stats["run"]["workload"] if args.trace else stats["run"]["benchmark"]
+        print(f"{receipt['id']}  done  {label}  IPC {ipc:.4f}")
         if args.out is not None:
             print(f"  wrote {write_stats_json(stats, args.out)}")
     return 1 if failures else 0
@@ -456,7 +700,7 @@ def _cmd_jobs(args) -> int:
         print("no jobs")
         return 0
     for job in jobs:
-        label = job["spec"].get("benchmark") or job["kind"]
+        label = job["spec"].get("benchmark") or job["spec"].get("trace") or job["kind"]
         coalesced = f" -> {job['coalesced_into']}" if job.get("coalesced_into") else ""
         print(f"{job['id']}  {job['status']:<9} {label}{coalesced}")
     return 0
@@ -548,27 +792,106 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_arguments(export_parser)
 
     trace_parser = subparsers.add_parser(
-        "trace", help="render a pipeline trace (ASCII or Chrome trace JSON)"
+        "trace", help="tracefile capture/replay and pipeline-trace rendering"
     )
-    trace_parser.add_argument("name", help="kernel or benchmark name")
-    trace_parser.add_argument(
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    trace_capture = trace_subparsers.add_parser(
+        "capture", help="capture a kernel/benchmark execution to a tracefile"
+    )
+    trace_capture.add_argument(
+        "source", nargs="?", default=None,
+        help="kernel or benchmark name (omit with --corpus)",
+    )
+    trace_capture.add_argument(
+        "--corpus", default=None, metavar="NAME",
+        help="(re)capture a named corpus entry into workloads/traces/",
+    )
+    trace_capture.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output tracefile (default <source>.hpt)",
+    )
+    trace_capture.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stop after N instructions (required for synthetic benchmarks)",
+    )
+    trace_capture.add_argument(
+        "--arg", action="append", default=[], metavar="NAME=INT",
+        help="kernel parameter, e.g. --arg n=16000 (repeatable)",
+    )
+    trace_capture.add_argument("--seed", type=int, default=42)
+    trace_capture.add_argument(
+        "--name", default=None, help="trace name recorded in the header"
+    )
+
+    trace_info = trace_subparsers.add_parser(
+        "info", help="print a tracefile's self-describing header"
+    )
+    trace_info.add_argument("trace", help="corpus trace name or tracefile path")
+
+    trace_run = trace_subparsers.add_parser(
+        "run", help="simulate a tracefile (full, or SimPoint-sampled)"
+    )
+    trace_run.add_argument("trace", help="corpus trace name or tracefile path")
+    trace_run.add_argument(
+        "--insts", type=int, default=None,
+        help="instruction budget (default: the whole trace)",
+    )
+    trace_run.add_argument("--warmup", type=int, default=0)
+    trace_run.add_argument(
+        "--sampled", action="store_true",
+        help="SimPoint-style sampled simulation (docs/TRACES.md)",
+    )
+    trace_run.add_argument("--interval", type=int, default=10_000)
+    trace_run.add_argument("--k", type=int, default=8)
+    trace_run.add_argument("--sample-warmup", type=int, default=2_000)
+    trace_run.add_argument("--dims", type=int, default=32)
+    trace_run.add_argument("--sample-seed", type=int, default=1)
+    trace_run.add_argument(
+        "--no-warm-caches", action="store_true",
+        help="skip cache-state reconstruction before sample windows",
+    )
+    trace_run.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="with --sampled: write the sampling report JSON here",
+    )
+    trace_run.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (always simulate)",
+    )
+    trace_run.add_argument(
+        "--backend", default=None, choices=BACKENDS,
+        help="cycle-loop backend (default: REPRO_BACKEND, then the config)",
+    )
+    _add_machine_arguments(trace_run)
+
+    trace_render = trace_subparsers.add_parser(
+        "render", help="render a pipeline trace (ASCII or Chrome trace JSON)"
+    )
+    trace_render.add_argument("name", help="kernel or benchmark name")
+    trace_render.add_argument(
         "--format", choices=("ascii", "chrome"), default="ascii"
     )
-    trace_parser.add_argument("--insts", type=int, default=500)
-    trace_parser.add_argument("--seed", type=int, default=42)
-    trace_parser.add_argument(
+    trace_render.add_argument("--insts", type=int, default=500)
+    trace_render.add_argument("--seed", type=int, default=42)
+    trace_render.add_argument(
         "--first", type=int, default=0, metavar="SEQ",
         help="first dynamic instruction to render",
     )
-    trace_parser.add_argument(
+    trace_render.add_argument(
         "--count", type=int, default=None, metavar="N",
         help="instructions to render (ascii default 16, chrome default all)",
     )
-    trace_parser.add_argument(
+    trace_render.add_argument(
         "--out", default=None, metavar="FILE",
         help="chrome format: output path (default <name>.trace.json)",
     )
-    _add_machine_arguments(trace_parser)
+    _add_machine_arguments(trace_render)
+
+    subparsers.add_parser(
+        "workloads",
+        help="list kernels, synthetic profiles and the trace corpus",
+    )
 
     fuzz_parser = subparsers.add_parser(
         "fuzz",
@@ -701,13 +1024,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit_parser.add_argument(
         "benchmarks", nargs="+",
-        help="benchmark names (see 'repro list'), or 'all'",
+        help="benchmark names (see 'repro list'), or 'all'; with --trace, "
+        "corpus trace names or tracefile paths ('all' = committed corpus)",
     )
     submit_parser.add_argument(
         "--server", default="http://127.0.0.1:8765", metavar="URL"
     )
-    submit_parser.add_argument("--insts", type=int, default=15_000)
-    submit_parser.add_argument("--warmup", type=int, default=20_000)
+    submit_parser.add_argument(
+        "--trace", action="store_true",
+        help="submit tracefile jobs instead of benchmark runs (docs/TRACES.md)",
+    )
+    submit_parser.add_argument(
+        "--sampled", action="store_true",
+        help="with --trace: SimPoint-sampled simulation instead of a full run",
+    )
+    submit_parser.add_argument(
+        "--insts", type=int, default=None,
+        help="instruction budget (default: 15000; --trace: the whole trace)",
+    )
+    submit_parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="warmup instructions (default: 20000; --trace: 0)",
+    )
     submit_parser.add_argument("--seed", type=int, default=42)
     submit_parser.add_argument("--shadow", action="store_true")
     submit_parser.add_argument(
@@ -758,6 +1096,7 @@ def main(argv: list[str] | None = None) -> int:
         "prefetch": _cmd_prefetch,
         "export-stats": _cmd_export_stats,
         "trace": _cmd_trace,
+        "workloads": _cmd_workloads,
         "report": _cmd_report,
         "fuzz": _cmd_fuzz,
         "serve": _cmd_serve,

@@ -15,6 +15,11 @@ routes them onto the existing analysis machinery:
 * ``verify`` jobs replay an HPRISC program through the differential
   verification stack (:func:`repro.verify.check_source`) across the
   requested configuration matrix.
+* ``trace`` jobs replay a binary tracefile (:mod:`repro.trace`) — full
+  runs produce the same versioned stats export as ``run`` jobs; sampled
+  runs produce the SimPoint-style sampling report.  Decoded feeds are
+  memoized per content hash, so many jobs against one trace decode it
+  once per worker process.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from repro.analysis.cache import ResultCache
 from repro.analysis.runner import ExperimentRunner
 from repro.fastsim import apply_backend
 from repro.obs.export import build_stats_export
-from repro.serve.protocol import JobSpec, RunSpec, VerifySpec
+from repro.serve.protocol import JobSpec, RunSpec, TraceSpec, VerifySpec
 
 
 class JobExecutor:
@@ -42,6 +47,8 @@ class JobExecutor:
         #: served jobs are single simulations, so the default is inline.
         self.jobs = jobs
         self._runners: dict[tuple[int, int], ExperimentRunner] = {}
+        #: decoded trace feeds, memoized by content hash
+        self._feeds: dict[str, object] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -74,6 +81,8 @@ class JobExecutor:
             return self._execute_run(spec)
         if isinstance(spec, VerifySpec):
             return self._execute_verify(spec)
+        if isinstance(spec, TraceSpec):
+            return self._execute_trace(spec)
         raise TypeError(f"unknown spec type {type(spec).__name__}")  # pragma: no cover
 
     def _execute_run(self, spec: RunSpec) -> dict:
@@ -93,6 +102,67 @@ class JobExecutor:
             shadow_sizes=spec.shadow_sizes,
         )
         return {"kind": "run", "stats": document}
+
+    def _trace_feed(self, spec: TraceSpec):
+        """The decoded feed for a trace spec, memoized by content hash."""
+        # Deferred: the trace stack is needed only by trace jobs.
+        from repro.trace import TraceFormatError, load_corpus_feed
+
+        with self._lock:
+            feed = self._feeds.get(spec.content_hash)
+        if feed is not None:
+            return feed
+        feed = load_corpus_feed(spec.trace)
+        if feed.content_hash != spec.content_hash:
+            raise TraceFormatError(
+                f"trace {spec.trace!r} has content hash "
+                f"{feed.content_hash[:12]}…, but the job was submitted for "
+                f"{spec.content_hash[:12]}… (stale reference?)"
+            )
+        with self._lock:
+            return self._feeds.setdefault(spec.content_hash, feed)
+
+    def _execute_trace(self, spec: TraceSpec) -> dict:
+        from repro.trace import run_full, run_sampled, trace_token
+        from repro.trace.run import TRACE_SEED
+
+        feed = self._trace_feed(spec)
+        # Materialized for the same reason as run jobs: the exported
+        # fingerprint must match what actually executed under a
+        # server-side REPRO_BACKEND override.
+        config = apply_backend(spec.config())
+        if spec.sampled:
+            report = run_sampled(
+                feed,
+                config,
+                interval=spec.interval,
+                k=spec.k,
+                warmup=spec.sample_warmup,
+                dims=spec.dims,
+                seed=spec.sample_seed,
+                warm_caches=spec.warm_caches,
+                shadow_sizes=spec.shadow_sizes,
+                cache=self.cache,
+            )
+            return {"kind": "trace", "report": report}
+        result = run_full(
+            feed,
+            config,
+            insts=spec.insts,
+            warmup=spec.warmup,
+            shadow_sizes=spec.shadow_sizes,
+            cache=self.cache,
+        )
+        document = build_stats_export(
+            result,
+            config,
+            benchmark=trace_token(spec.content_hash),
+            seed=TRACE_SEED,
+            insts=spec.insts if spec.insts is not None else 0,
+            warmup=spec.warmup,
+            shadow_sizes=spec.shadow_sizes,
+        )
+        return {"kind": "trace", "stats": document}
 
     def _execute_verify(self, spec: VerifySpec) -> dict:
         # Deferred: the verify stack is needed only by verify jobs.

@@ -14,6 +14,13 @@ touches the queue or a worker.  Two job kinds exist:
   co-simulated against the functional emulator under a configuration
   matrix (:mod:`repro.verify`), so the fuzzing corpus can be replayed
   over the wire.
+* ``trace`` — one tracefile simulation (:mod:`repro.trace`), full or
+  SimPoint-sampled.  The spec carries the trace's **content hash** from
+  the tracefile header; the fingerprint keys on that hash — never on a
+  path or mtime — so identical traces coalesce across workers whatever
+  their checkout layout.  When a submitting client omits the hash, the
+  parser resolves the reference locally and reads it from the header;
+  journal replays carry the hash and need no file access.
 
 Specs are frozen dataclasses; ``as_wire()`` round-trips through
 ``parse_spec()`` losslessly, which the queue-persistence journal relies
@@ -40,6 +47,13 @@ from repro.pipeline.config import (
     SchedulerModel,
 )
 from repro.pipeline.processor import TIMING_MODEL_VERSION
+from repro.trace.sampling import (
+    DEFAULT_DIMS,
+    DEFAULT_INTERVAL,
+    DEFAULT_K,
+    DEFAULT_SAMPLE_SEED,
+    DEFAULT_SAMPLE_WARMUP,
+)
 from repro.workloads.profiles import SPEC_BENCHMARKS
 
 #: Bump when the request/response shapes change incompatibly.
@@ -90,6 +104,27 @@ def _enum_value(payload: dict, key: str, enum_cls, default) -> str:
         raise ProtocolError(f"unknown {key} {value!r} (known: {known})") from None
 
 
+def _machine_config(spec) -> MachineConfig:
+    """Build the machine a run/trace spec describes (CLI flag semantics)."""
+    config = FOUR_WIDE if spec.width == 4 else EIGHT_WIDE
+    techniques: dict = {}
+    if spec.scheduler != SchedulerModel.BASE.value:
+        techniques["scheduler"] = SchedulerModel(spec.scheduler)
+    if spec.regfile != RegFileModel.BASE.value:
+        techniques["regfile"] = RegFileModel(spec.regfile)
+    if spec.half_rename:
+        techniques["rename"] = RenameModel.HALF_PORTS
+    if spec.half_bypass:
+        techniques["bypass"] = BypassModel.HALF
+    if not spec.predictor:
+        techniques["predictor_entries"] = None
+    if techniques:
+        config = config.with_techniques(**techniques)
+    if spec.backend != config.backend:
+        config = dataclasses.replace(config, backend=spec.backend)
+    return config
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One benchmark simulation request (job kind ``run``)."""
@@ -118,23 +153,7 @@ class RunSpec:
 
     def config(self) -> MachineConfig:
         """Build the machine this spec describes (CLI flag semantics)."""
-        config = FOUR_WIDE if self.width == 4 else EIGHT_WIDE
-        techniques: dict = {}
-        if self.scheduler != SchedulerModel.BASE.value:
-            techniques["scheduler"] = SchedulerModel(self.scheduler)
-        if self.regfile != RegFileModel.BASE.value:
-            techniques["regfile"] = RegFileModel(self.regfile)
-        if self.half_rename:
-            techniques["rename"] = RenameModel.HALF_PORTS
-        if self.half_bypass:
-            techniques["bypass"] = BypassModel.HALF
-        if not self.predictor:
-            techniques["predictor_entries"] = None
-        if techniques:
-            config = config.with_techniques(**techniques)
-        if self.backend != config.backend:
-            config = dataclasses.replace(config, backend=self.backend)
-        return config
+        return _machine_config(self)
 
     @property
     def shadow_sizes(self) -> tuple[int, ...] | None:
@@ -186,7 +205,86 @@ class VerifySpec:
         }
 
 
-JobSpec = RunSpec | VerifySpec
+@dataclass(frozen=True)
+class TraceSpec:
+    """One tracefile simulation request (job kind ``trace``).
+
+    ``trace`` is a human reference (corpus name or path) used to *open*
+    the file on the executing worker; ``content_hash`` is the identity.
+    The fingerprint — hence coalescing, caching and idempotent
+    resubmission — keys only on the hash, so the same trace content
+    served from different paths or checkouts is one job.
+    """
+
+    trace: str
+    #: ``trace_sha256`` from the tracefile header.  Filled in by the
+    #: parser (reading the local header) when the caller omits it;
+    #: trusted verbatim when present, so journal replays are lossless
+    #: and need no tracefile on disk at parse time.
+    content_hash: str
+    width: int = 4
+    scheduler: str = SchedulerModel.BASE.value
+    regfile: str = RegFileModel.BASE.value
+    half_rename: bool = False
+    half_bypass: bool = False
+    predictor: bool = True
+    #: instruction budget; None simulates the whole trace
+    insts: int | None = None
+    warmup: int = 0
+    #: SimPoint-style sampled simulation instead of a full run
+    sampled: bool = False
+    interval: int = DEFAULT_INTERVAL
+    k: int = DEFAULT_K
+    sample_warmup: int = DEFAULT_SAMPLE_WARMUP
+    dims: int = DEFAULT_DIMS
+    sample_seed: int = DEFAULT_SAMPLE_SEED
+    warm_caches: bool = True
+    shadow: bool = False
+    priority: int = 0
+    backend: str = "python"
+
+    kind = "trace"
+
+    def config(self) -> MachineConfig:
+        """Build the machine this spec describes (CLI flag semantics)."""
+        return _machine_config(self)
+
+    @property
+    def shadow_sizes(self) -> tuple[int, ...] | None:
+        return SHADOW_SIZES if self.shadow else None
+
+    def fingerprint(self) -> str:
+        """The result-cache digest — keyed on the trace content hash."""
+        # Deferred: only trace jobs need the trace stack.
+        from repro.trace.run import sampled_fingerprint, trace_fingerprint
+
+        if self.sampled:
+            return sampled_fingerprint(
+                self.content_hash,
+                self.config(),
+                interval=self.interval,
+                k=self.k,
+                warmup=self.sample_warmup,
+                dims=self.dims,
+                seed=self.sample_seed,
+                warm_caches=self.warm_caches,
+                shadow_sizes=self.shadow_sizes,
+            )
+        return trace_fingerprint(
+            self.content_hash,
+            self.config(),
+            insts=self.insts,
+            warmup=self.warmup,
+            shadow_sizes=self.shadow_sizes,
+        )
+
+    def as_wire(self) -> dict:
+        document = dataclasses.asdict(self)
+        document["kind"] = self.kind
+        return document
+
+
+JobSpec = RunSpec | VerifySpec | TraceSpec
 
 _RUN_KEYS = frozenset(
     (
@@ -207,6 +305,31 @@ _RUN_KEYS = frozenset(
     )
 )
 _VERIFY_KEYS = frozenset(("kind", "source", "configs", "budget", "priority"))
+_TRACE_KEYS = frozenset(
+    (
+        "kind",
+        "trace",
+        "content_hash",
+        "width",
+        "scheduler",
+        "regfile",
+        "half_rename",
+        "half_bypass",
+        "predictor",
+        "insts",
+        "warmup",
+        "sampled",
+        "interval",
+        "k",
+        "sample_warmup",
+        "dims",
+        "sample_seed",
+        "warm_caches",
+        "shadow",
+        "priority",
+        "backend",
+    )
+)
 
 
 def _parse_run(payload: dict) -> RunSpec:
@@ -269,6 +392,62 @@ def _parse_verify(payload: dict) -> VerifySpec:
     )
 
 
+def _parse_trace(payload: dict) -> TraceSpec:
+    trace = payload.get("trace")
+    _require(isinstance(trace, str) and bool(trace.strip()), "trace is required")
+    width = payload.get("width", 4)
+    _require(width in (4, 8), "width must be 4 or 8")
+    backend = payload.get("backend", "python")
+    _require(
+        backend in ("python", "vector", "native"),
+        f"unknown backend {backend!r} (known: python, vector, native)",
+    )
+    content_hash = payload.get("content_hash")
+    if content_hash is None:
+        # Deferred: only trace jobs need the trace stack.
+        from repro.trace.corpus import resolve_trace
+        from repro.trace.format import read_header
+
+        try:
+            content_hash = read_header(resolve_trace(trace))["trace_sha256"]
+        except ReproError as error:
+            raise ProtocolError(str(error)) from None
+    _require(
+        isinstance(content_hash, str) and bool(content_hash),
+        "content_hash must be a non-empty string",
+    )
+    insts = payload.get("insts")
+    if insts is not None:
+        _require(
+            isinstance(insts, int) and not isinstance(insts, bool) and insts >= 1,
+            "insts must be >= 1 (or null for the whole trace)",
+        )
+    spec = TraceSpec(
+        trace=trace,
+        content_hash=content_hash,
+        width=width,
+        scheduler=_enum_value(payload, "scheduler", SchedulerModel, SchedulerModel.BASE.value),
+        regfile=_enum_value(payload, "regfile", RegFileModel, RegFileModel.BASE.value),
+        half_rename=_get_bool(payload, "half_rename", False),
+        half_bypass=_get_bool(payload, "half_bypass", False),
+        predictor=_get_bool(payload, "predictor", True),
+        insts=insts,
+        warmup=_get_int(payload, "warmup", 0, minimum=0),
+        sampled=_get_bool(payload, "sampled", False),
+        interval=_get_int(payload, "interval", DEFAULT_INTERVAL),
+        k=_get_int(payload, "k", DEFAULT_K),
+        sample_warmup=_get_int(payload, "sample_warmup", DEFAULT_SAMPLE_WARMUP, minimum=0),
+        dims=_get_int(payload, "dims", DEFAULT_DIMS),
+        sample_seed=_get_int(payload, "sample_seed", DEFAULT_SAMPLE_SEED, minimum=0),
+        warm_caches=_get_bool(payload, "warm_caches", True),
+        shadow=_get_bool(payload, "shadow", False),
+        priority=_get_int(payload, "priority", 0, minimum=-(10**6)),
+        backend=backend,
+    )
+    spec.config()  # surface ConfigurationError-shaped problems as 400s
+    return spec
+
+
 def parse_spec(payload: object) -> JobSpec:
     """Validate one wire-level job spec; raises :class:`ProtocolError`."""
     _require(isinstance(payload, dict), "job spec must be a JSON object")
@@ -282,7 +461,11 @@ def parse_spec(payload: object) -> JobSpec:
         unknown = set(payload) - _VERIFY_KEYS
         _require(not unknown, f"unknown verify-spec field(s): {', '.join(sorted(unknown))}")
         return _parse_verify(payload)
-    raise ProtocolError(f"unknown job kind {kind!r} (known: run, verify)")
+    if kind == "trace":
+        unknown = set(payload) - _TRACE_KEYS
+        _require(not unknown, f"unknown trace-spec field(s): {', '.join(sorted(unknown))}")
+        return _parse_trace(payload)
+    raise ProtocolError(f"unknown job kind {kind!r} (known: run, verify, trace)")
 
 
 def parse_batch_with_ids(payload: object) -> tuple[list[JobSpec], list[str] | None]:

@@ -1,0 +1,86 @@
+"""Capture dynamic instruction streams into binary tracefiles."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.isa.assembler import Program
+from repro.trace.format import TraceWriter
+from repro.workloads.feed import EmulatorFeed
+from repro.workloads.kernels import kernel_program
+from repro.workloads.trace import DynOp
+
+
+def program_sha256(program: Program) -> str:
+    """Content hash of a program's architectural substance.
+
+    Covers the instruction stream and initial data image — the two inputs
+    that determine execution — and deliberately excludes labels and source
+    text, so reformatting the assembly does not change identity.
+    """
+    payload = {
+        "instructions": [
+            [inst.opcode.name, inst.dest, list(inst.srcs), inst.imm, inst.target]
+            for inst in program.instructions
+        ],
+        "data": {str(addr): value for addr, value in sorted(program.data.items())},
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def capture_stream(
+    stream: Iterable[DynOp],
+    path: str | Path,
+    *,
+    name: str = "trace",
+    limit: int | None = None,
+    source: dict | None = None,
+    program_hash: str | None = None,
+) -> dict:
+    """Write up to *limit* ops from *stream* to *path*; returns the header."""
+    with TraceWriter(
+        path, name=name, source=source, program_sha256=program_hash
+    ) as writer:
+        writer.extend(stream, limit=limit)
+    return writer.header()
+
+
+def capture_program(
+    program: Program,
+    path: str | Path,
+    *,
+    name: str = "program",
+    limit: int | None = None,
+    source: dict | None = None,
+) -> dict:
+    """Emulate *program* from entry and capture the committed stream."""
+    return capture_stream(
+        EmulatorFeed(program, name=name),
+        path,
+        name=name,
+        limit=limit,
+        source=source,
+        program_hash=program_sha256(program),
+    )
+
+
+def capture_kernel(
+    kernel: str,
+    path: str | Path,
+    *,
+    name: str | None = None,
+    limit: int | None = None,
+    **kwargs,
+) -> dict:
+    """Capture one of the built-in kernels (``repro.workloads.kernels``)."""
+    program = kernel_program(kernel, **kwargs)
+    source = {"kind": "kernel", "kernel": kernel}
+    if kwargs:
+        source["kwargs"] = {key: kwargs[key] for key in sorted(kwargs)}
+    return capture_program(
+        program, path, name=name or kernel, limit=limit, source=source
+    )

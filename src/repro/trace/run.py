@@ -1,0 +1,229 @@
+"""Cached trace-run orchestration (full and sampled).
+
+Trace workloads flow through the same content-addressed result store as
+benchmark runs, with one deliberate difference in identity: the
+fingerprint's workload component is ``tracefile:<trace_sha256>`` — the
+*content hash* from the tracefile header — never a filesystem path or
+mtime.  Copy a tracefile, re-capture it deterministically, or serve it
+from a different worker's checkout: the cache key is identical.  The
+``seed`` slot is pinned to 0 (a trace is already a fixed instruction
+sequence; there is nothing to reseed).
+
+Full runs reuse the :class:`~repro.analysis.cache.ResultCache` record
+format unchanged.  Sampled runs produce a *report* (weights, per-sample
+IPCs, coverage) rather than a ``SimulationResult``, so they are published
+to the same store as a distinct self-checksummed record kind.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cache import ResultCache, fingerprint, record_checksum
+from repro.fastsim import make_processor
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import TIMING_MODEL_VERSION, SimulationResult
+from repro.trace.feed import TraceFeed, trace_token
+from repro.trace.sampling import (
+    DEFAULT_DIMS,
+    DEFAULT_INTERVAL,
+    DEFAULT_K,
+    DEFAULT_SAMPLE_SEED,
+    DEFAULT_SAMPLE_WARMUP,
+    SAMPLING_REPORT_VERSION,
+    simulate_sampled,
+)
+
+#: The seed slot of trace fingerprints (a trace has no workload seed).
+TRACE_SEED = 0
+
+#: Per-round wait for another process's publication (mirrors the runner).
+CLAIM_WAIT_S = 20.0
+
+
+def trace_fingerprint(
+    content_hash: str,
+    config: MachineConfig,
+    *,
+    insts: int | None = None,
+    warmup: int = 0,
+    shadow_sizes: tuple[int, ...] | None = None,
+) -> str:
+    """Cache fingerprint for a full trace run.
+
+    ``insts=None`` means "the whole trace" and is encoded as 0 — the
+    fingerprint is computable from the wire spec alone, without opening
+    the file to learn its length.
+    """
+    return fingerprint(
+        trace_token(content_hash),
+        TRACE_SEED,
+        insts if insts is not None else 0,
+        warmup,
+        config,
+        shadow_sizes,
+    )
+
+
+def _cache_identity(
+    feed: TraceFeed,
+    config: MachineConfig,
+    insts: int | None,
+    warmup: int,
+    shadow_sizes: tuple[int, ...] | None,
+) -> tuple:
+    return (
+        trace_token(feed.content_hash),
+        TRACE_SEED,
+        insts if insts is not None else 0,
+        warmup,
+        config,
+        shadow_sizes,
+    )
+
+
+def _wait_seconds(cache: ResultCache) -> float:
+    stale = getattr(cache.backend, "claim_stale_s", None)
+    wait_s = CLAIM_WAIT_S
+    if isinstance(stale, (int, float)):
+        wait_s = max(0.1, min(wait_s, float(stale)))
+    return wait_s
+
+
+def run_full(
+    feed: TraceFeed,
+    config: MachineConfig,
+    *,
+    insts: int | None = None,
+    warmup: int = 0,
+    shadow_sizes: tuple[int, ...] | None = None,
+    cache: ResultCache | None = None,
+) -> SimulationResult:
+    """Simulate a trace end to end, through the result cache.
+
+    Same load → claim → simulate → publish loop as the benchmark runner:
+    among processes sharing the store, exactly one simulates a given
+    fingerprint, the rest wait for the published blob.  ``config.backend``
+    must already be materialized (call ``apply_backend`` at the boundary).
+    """
+    run = _cache_identity(feed, config, insts, warmup, shadow_sizes)
+    claim = None
+    if cache is not None:
+        wait_s = _wait_seconds(cache)
+        while True:
+            found = cache.load(*run)
+            if found is not None:
+                return found
+            claim = cache.claim(*run)
+            if claim is not None:
+                break
+            cache.wait_published(*run, timeout=wait_s)
+    try:
+        processor = make_processor(
+            feed, config, backend=config.backend, shadow_sizes=shadow_sizes
+        )
+        limit = insts if insts is not None else len(feed.ops)
+        result = processor.run(max_insts=limit, warmup=warmup)
+        if cache is not None:
+            cache.store(*run, result)
+    finally:
+        if claim is not None:
+            claim.release()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sampled runs: report records on the same store
+# ----------------------------------------------------------------------
+def sampled_fingerprint(
+    content_hash: str,
+    config: MachineConfig,
+    *,
+    interval: int = DEFAULT_INTERVAL,
+    k: int = DEFAULT_K,
+    warmup: int = DEFAULT_SAMPLE_WARMUP,
+    dims: int = DEFAULT_DIMS,
+    seed: int = DEFAULT_SAMPLE_SEED,
+    warm_caches: bool = True,
+    shadow_sizes: tuple[int, ...] | None = None,
+) -> str:
+    """Fingerprint for a sampled run's report record.
+
+    Rides the shared :func:`~repro.analysis.cache.fingerprint` by packing
+    the sampling plan into the workload-identity string (the plan changes
+    the answer, so it must change the key) and the clustering seed into
+    the seed slot.
+    """
+    token = (
+        f"{trace_token(content_hash)}"
+        f"#sampled:v{SAMPLING_REPORT_VERSION}:i{interval}:k{k}:w{warmup}:d{dims}"
+        f":c{1 if warm_caches else 0}"
+    )
+    return fingerprint(token, seed, 0, warmup, config, shadow_sizes)
+
+
+def run_sampled(
+    feed: TraceFeed,
+    config: MachineConfig,
+    *,
+    interval: int = DEFAULT_INTERVAL,
+    k: int = DEFAULT_K,
+    warmup: int = DEFAULT_SAMPLE_WARMUP,
+    dims: int = DEFAULT_DIMS,
+    seed: int = DEFAULT_SAMPLE_SEED,
+    warm_caches: bool = True,
+    shadow_sizes: tuple[int, ...] | None = None,
+    cache: ResultCache | None = None,
+) -> dict:
+    """Sampled simulation through the result store (report-record kind)."""
+    digest = sampled_fingerprint(
+        feed.content_hash,
+        config,
+        interval=interval,
+        k=k,
+        warmup=warmup,
+        dims=dims,
+        seed=seed,
+        warm_caches=warm_caches,
+        shadow_sizes=shadow_sizes,
+    )
+    claim = None
+    if cache is not None:
+        wait_s = _wait_seconds(cache)
+        while True:
+            record = cache.backend.get(digest)
+            if record is not None:
+                if (
+                    record.get("kind") == "trace-sampled"
+                    and record.get("fingerprint") == digest
+                    and record.get("checksum") == record_checksum(record)
+                ):
+                    return record["report"]
+                record = None  # corrupt/foreign record: recompute
+            claim = cache.backend.claim(digest)
+            if claim is not None:
+                break
+            cache.backend.wait(digest, wait_s)
+    try:
+        report = simulate_sampled(
+            feed,
+            config,
+            interval=interval,
+            k=k,
+            warmup=warmup,
+            dims=dims,
+            seed=seed,
+            warm_caches=warm_caches,
+            shadow_sizes=shadow_sizes,
+        )
+        if cache is not None:
+            record = {
+                "kind": "trace-sampled",
+                "fingerprint": digest,
+                "model_version": TIMING_MODEL_VERSION,
+                "report": report,
+            }
+            record["checksum"] = record_checksum(record)
+            cache.backend.put(digest, record)
+    finally:
+        if claim is not None:
+            claim.release()
+    return report

@@ -302,6 +302,121 @@ def memscan(n: int = 256, needle: int = 77) -> str:
     """
 
 
+def sieve(n: int = 200) -> str:
+    """Sieve of Eratosthenes up to n (nested loops, strided stores).
+
+    r1 ends with the prime count; the marking loop's stride grows with
+    each prime, mixing streaming and scattered store traffic.
+    """
+    return f"""
+    ; flags[v] at 4096 + v*8, 1 = composite; count primes in [2, {n})
+        LDI  r2, 4096
+        LDI  r3, {n}
+    init:
+        STQ  r31, 0(r2)
+        ADD  r2, r2, #8
+        SUB  r3, r3, #1
+        BNE  r3, init
+        LDI  r10, 2          ; p
+    ploop:
+        MUL  r4, r10, r10    ; p*p
+        CMPLT r5, r4, #{n}
+        BEQ  r5, count       ; p*p >= n: sieving done
+        SLL  r6, r10, #3
+        ADD  r6, r6, #4096
+        LDQ  r7, 0(r6)
+        BNE  r7, nextp       ; p already composite
+        MOV  r8, r4          ; m = p*p
+        LDI  r9, 1
+    mark:
+        SLL  r6, r8, #3
+        ADD  r6, r6, #4096
+        STQ  r9, 0(r6)
+        ADD  r8, r8, r10
+        CMPLT r5, r8, #{n}
+        BNE  r5, mark
+    nextp:
+        ADD  r10, r10, #1
+        BR   ploop
+    count:
+        LDI  r1, 0
+        LDI  r10, 2
+        LDI  r3, {n - 2}
+    cloop:
+        SLL  r6, r10, #3
+        ADD  r6, r6, #4096
+        LDQ  r7, 0(r6)
+        BNE  r7, notp
+        ADD  r1, r1, #1
+    notp:
+        ADD  r10, r10, #1
+        SUB  r3, r3, #1
+        BNE  r3, cloop
+        HALT
+    """
+
+
+def strsearch(n: int = 256) -> str:
+    """Naive substring search over an LCG-filled word array.
+
+    The 4-word pattern is copied from near the end of the haystack, so the
+    inner compare loop exits on a data-dependent mismatch at almost every
+    candidate position until the final match.
+    """
+    return f"""
+    ; fill haystack[0..{n}) at 4096, take pattern = haystack[{n - 5}..{n - 1}),
+    ; then scan candidate positions until the 4-word window matches
+        LDI  r2, 4096
+        LDI  r3, {n}
+        LDI  r4, 424242
+        LDI  r6, 1103515245
+        LDI  r7, 12345
+    fill:
+        MUL  r4, r4, r6
+        ADD  r4, r4, r7
+        SRL  r5, r4, #11
+        AND  r5, r5, #255
+        STQ  r5, 0(r2)
+        ADD  r2, r2, #8
+        SUB  r3, r3, #1
+        BNE  r3, fill
+        LDI  r2, {4096 + (n - 5) * 8}
+        LDI  r3, 65536       ; pattern buffer
+        LDI  r8, 4
+    copy:
+        LDQ  r5, 0(r2)
+        STQ  r5, 0(r3)
+        ADD  r2, r2, #8
+        ADD  r3, r3, #8
+        SUB  r8, r8, #1
+        BNE  r8, copy
+        LDI  r1, 0           ; candidate position
+        LDI  r2, 4096
+        LDI  r10, {n - 4}    ; candidates remaining
+    outer:
+        LDI  r3, 65536
+        MOV  r11, r2
+        LDI  r8, 4
+    inner:
+        LDQ  r5, 0(r11)
+        LDQ  r6, 0(r3)
+        SUB  r7, r5, r6
+        BNE  r7, next        ; mismatch: try next position
+        ADD  r11, r11, #8
+        ADD  r3, r3, #8
+        SUB  r8, r8, #1
+        BNE  r8, inner
+        BR   found           ; all 4 words matched
+    next:
+        ADD  r1, r1, #1
+        ADD  r2, r2, #8
+        SUB  r10, r10, #1
+        BNE  r10, outer
+    found:
+        HALT
+    """
+
+
 #: Registry of kernels: name -> (source factory, default kwargs).
 KERNELS = {
     "vector_sum": vector_sum,
@@ -315,6 +430,8 @@ KERNELS = {
     "matmul": matmul,
     "hash_probe": hash_probe,
     "memscan": memscan,
+    "sieve": sieve,
+    "strsearch": strsearch,
 }
 
 

@@ -8,6 +8,7 @@ from repro.pipeline.config import FOUR_WIDE, SchedulerModel
 from repro.serve.protocol import (
     ProtocolError,
     RunSpec,
+    TraceSpec,
     VerifySpec,
     parse_batch,
     parse_spec,
@@ -154,3 +155,57 @@ class TestBackendField:
             "gzip", spec.seed, spec.insts, spec.warmup, spec.config(), None
         )
         assert spec.fingerprint() == expected
+
+
+class TestTraceSpecParsing:
+    HASH = "ab" * 32
+
+    def spec(self, **overrides):
+        payload = {"kind": "trace", "trace": "some/file.hpt", "content_hash": self.HASH}
+        payload.update(overrides)
+        return parse_spec(payload)
+
+    def test_explicit_hash_needs_no_file(self):
+        spec = self.spec()
+        assert isinstance(spec, TraceSpec)
+        assert spec.content_hash == self.HASH
+        assert spec.insts is None and not spec.sampled
+
+    def test_corpus_name_resolves_hash_from_header(self):
+        spec = parse_spec({"kind": "trace", "trace": "vector_sum_80k"})
+        assert len(spec.content_hash) == 64
+
+    def test_unresolvable_reference_without_hash_is_400(self):
+        with pytest.raises(ProtocolError, match="neither a corpus trace name"):
+            parse_spec({"kind": "trace", "trace": "no_such_trace"})
+
+    def test_wire_round_trip_is_lossless(self):
+        spec = self.spec(sampled=True, k=4, interval=5_000, warm_caches=False,
+                         backend="native", insts=None)
+        again = parse_spec(spec.as_wire())
+        assert again == spec and again.fingerprint() == spec.fingerprint()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown trace-spec field"):
+            self.spec(simpoints=10)
+
+    def test_trace_is_required(self):
+        with pytest.raises(ProtocolError, match="trace is required"):
+            parse_spec({"kind": "trace", "content_hash": self.HASH})
+
+    def test_zero_insts_rejected(self):
+        with pytest.raises(ProtocolError, match="insts"):
+            self.spec(insts=0)
+
+    def test_fingerprint_keys_on_content_not_reference(self):
+        a = self.spec()
+        b = self.spec(trace="renamed/elsewhere.hpt")
+        assert a.trace != b.trace
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sampled_and_full_fingerprints_differ(self):
+        assert self.spec().fingerprint() != self.spec(sampled=True).fingerprint()
+
+    def test_machine_knobs_change_fingerprint(self):
+        assert self.spec().fingerprint() != self.spec(width=8).fingerprint()
+        assert self.spec().fingerprint() != self.spec(backend="vector").fingerprint()

@@ -1,0 +1,84 @@
+"""Trace jobs through the executor and the HTTP server."""
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import parse_spec
+from repro.trace.capture import capture_kernel
+
+
+@pytest.fixture(scope="module")
+def small_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "vs.hpt"
+    capture_kernel("vector_sum", path, n=400)
+    return path
+
+
+class TestExecutor:
+    def test_full_run_returns_stats_export(self, fresh_executor, small_trace):
+        spec = parse_spec({"kind": "trace", "trace": str(small_trace)})
+        document = fresh_executor.execute(spec)
+        assert document["kind"] == "trace"
+        stats = document["stats"]
+        assert stats["run"]["benchmark"] == f"tracefile:{spec.content_hash}"
+        assert stats["run"]["seed"] == 0
+        assert stats["derived"]["ipc"] > 0
+        assert stats["fingerprint"] == spec.fingerprint()
+
+    def test_sampled_run_returns_report(self, fresh_executor, small_trace):
+        spec = parse_spec(
+            {"kind": "trace", "trace": str(small_trace), "sampled": True,
+             "interval": 500, "sample_warmup": 100}
+        )
+        document = fresh_executor.execute(spec)
+        report = document["report"]
+        assert report["weighted_ipc"] > 0
+        assert report["content_hash"] == spec.content_hash
+
+    def test_feed_is_memoized_per_content_hash(self, fresh_executor, small_trace):
+        spec = parse_spec({"kind": "trace", "trace": str(small_trace)})
+        fresh_executor.execute(spec)
+        feed = fresh_executor._feeds[spec.content_hash]
+        fresh_executor.execute(spec)
+        assert fresh_executor._feeds[spec.content_hash] is feed
+
+    def test_stale_hash_fails_loudly(self, fresh_executor, small_trace):
+        from repro.trace import TraceFormatError
+
+        spec = parse_spec(
+            {"kind": "trace", "trace": str(small_trace), "content_hash": "00" * 32}
+        )
+        with pytest.raises(TraceFormatError, match="stale"):
+            fresh_executor.execute(spec)
+
+
+class TestServedTraceJobs:
+    def test_submit_and_wait_over_http(self, server, small_trace):
+        client = ServeClient(server.base_url)
+        (receipt,) = client.submit(
+            [{"kind": "trace", "trace": str(small_trace)}]
+        )
+        document = client.wait(receipt["id"], timeout=120)
+        assert document["result"]["kind"] == "trace"
+        assert document["result"]["stats"]["derived"]["ipc"] > 0
+
+    def test_same_content_coalesces_across_paths(self, server, small_trace, tmp_path):
+        import shutil
+
+        copy = tmp_path / "copy.hpt"
+        shutil.copy(small_trace, copy)
+        client = ServeClient(server.base_url)
+        receipts = client.submit(
+            [
+                {"kind": "trace", "trace": str(small_trace)},
+                {"kind": "trace", "trace": str(copy)},
+            ]
+        )
+        client.wait(receipts[0]["id"], timeout=120)
+        client.wait(receipts[1]["id"], timeout=120)
+        assert receipts[1]["coalesced"] or receipts[1]["status"] in ("queued", "done")
+        jobs = {job["id"]: job for job in client.jobs()}
+        fingerprints = {
+            jobs[receipt["id"]]["fingerprint"] for receipt in receipts
+        }
+        assert len(fingerprints) == 1

@@ -97,19 +97,19 @@ class TestExportStats:
         assert "unknown benchmark" in capsys.readouterr().err
 
 
-class TestTrace:
+class TestTraceRender:
     def test_ascii_kernel_trace(self, capsys):
-        assert main(["trace", "fibonacci", "--count", "6"]) == 0
+        assert main(["trace", "render", "fibonacci", "--count", "6"]) == 0
         assert "legend:" in capsys.readouterr().out
 
     def test_ascii_benchmark_trace(self, capsys):
-        assert main(["trace", "gzip", "--insts", "200", "--count", "4"]) == 0
+        assert main(["trace", "render", "gzip", "--insts", "200", "--count", "4"]) == 0
         assert "legend:" in capsys.readouterr().out
 
     def test_chrome_trace_file(self, tmp_path, capsys):
         out = tmp_path / "fib.trace.json"
         code = main(
-            ["trace", "fibonacci", "--format", "chrome", "--out", str(out)]
+            ["trace", "render", "fibonacci", "--format", "chrome", "--out", str(out)]
         )
         assert code == 0
         assert "perfetto" in capsys.readouterr().out
@@ -117,8 +117,73 @@ class TestTrace:
         assert document["traceEvents"]
 
     def test_unknown_name_rejected(self, capsys):
-        assert main(["trace", "doom"]) == 2
+        assert main(["trace", "render", "doom"]) == 2
         assert "unknown" in capsys.readouterr().err
+
+    def test_verb_is_required(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "fibonacci"])
+
+
+class TestTraceFiles:
+    def test_capture_info_run_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "fib.hpt"
+        assert main(["trace", "capture", "fibonacci", "--out", str(out)]) == 0
+        assert "captured fibonacci" in capsys.readouterr().out
+        assert main(["trace", "info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "insts:" in info and "trace_sha256:" in info
+        assert main(["trace", "run", str(out), "--no-cache"]) == 0
+        summary = capsys.readouterr().out
+        assert "IPC:" in summary and "fibonacci" in summary
+
+    def test_capture_kernel_args_change_the_trace(self, tmp_path, capsys):
+        small = tmp_path / "small.hpt"
+        big = tmp_path / "big.hpt"
+        assert main(["trace", "capture", "vector_sum", "--out", str(small)]) == 0
+        assert main(
+            ["trace", "capture", "vector_sum", "--arg", "n=200", "--out", str(big)]
+        ) == 0
+        capsys.readouterr()
+        assert small.read_bytes() != big.read_bytes()
+
+    def test_capture_synthetic_needs_limit(self, tmp_path, capsys):
+        out = tmp_path / "gz.hpt"
+        assert main(["trace", "capture", "gzip", "--out", str(out)]) == 2
+        assert "--limit" in capsys.readouterr().err
+        assert main(
+            ["trace", "capture", "gzip", "--limit", "500", "--out", str(out)]
+        ) == 0
+
+    def test_sampled_run_prints_weighted_ipc(self, tmp_path, capsys):
+        out = tmp_path / "dot.hpt"
+        assert main(
+            ["trace", "capture", "dotproduct", "--arg", "n=2500", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        report = tmp_path / "report.json"
+        code = main(
+            ["trace", "run", str(out), "--sampled", "--interval", "2000",
+             "--no-cache", "--report-out", str(report)]
+        )
+        assert code == 0
+        assert "weighted IPC" in capsys.readouterr().out
+        document = json.loads(report.read_text())
+        assert document["weighted_ipc"] > 0 and document["samples"]
+
+    def test_unknown_trace_is_one_line_error(self, capsys):
+        assert main(["trace", "info", "no_such_trace"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+
+class TestWorkloads:
+    def test_listing_covers_all_three_sections(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels" in out and "fibonacci" in out
+        assert "synthetic profiles" in out and "bzip" in out
+        assert "trace corpus" in out and "vector_sum_80k" in out
 
 
 class TestReport:
@@ -279,6 +344,24 @@ class TestServeCommands:
         assert main(["jobs", "j-000001", "--server", served.base_url]) == 0
         detail = capsys.readouterr().out
         assert "status:" in detail and "done" in detail
+
+    def test_submit_trace_full_and_sampled(self, served, tmp_path, capsys):
+        code = main(
+            ["submit", "--trace", "vector_sum_80k", "--server", served.base_url,
+             "--insts", "5000", "--wait", "--timeout", "120"]
+        )
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+        out = tmp_path / "reports"
+        code = main(
+            ["submit", "--trace", "vector_sum_80k", "--sampled",
+             "--server", served.base_url, "--wait", "--timeout", "120",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert "weighted IPC" in capsys.readouterr().out
+        report = json.loads((out / "vector_sum_80k.report.json").read_text())
+        assert report["weighted_ipc"] > 0
 
     def test_jobs_unknown_id_is_one_line_error(self, served, capsys):
         assert main(["jobs", "j-999999", "--server", served.base_url]) == 1

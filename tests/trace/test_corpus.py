@@ -1,0 +1,119 @@
+"""The shipped corpus, and content-hash (never path) cache identity."""
+
+import shutil
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.pipeline.config import FOUR_WIDE
+from repro.trace.capture import capture_kernel
+from repro.trace.corpus import (
+    CORPUS,
+    CORPUS_BY_NAME,
+    capture_corpus_entry,
+    corpus_listing,
+    corpus_path,
+    load_corpus_feed,
+    resolve_trace,
+)
+from repro.trace.feed import TraceFeed
+from repro.trace.format import TraceFormatError, read_header
+from repro.trace.run import run_full, sampled_fingerprint, trace_fingerprint
+
+
+class TestShippedCorpus:
+    def test_every_committed_entry_is_readable(self):
+        for entry in CORPUS:
+            if not entry.committed:
+                continue
+            header = read_header(corpus_path(entry))
+            assert header["name"] == entry.name
+            assert header["source"]["kernel"] == entry.kernel
+            assert header["insts"] > 60_000
+
+    def test_committed_files_match_fresh_capture(self, tmp_path):
+        entry = CORPUS_BY_NAME["vector_sum_80k"]
+        fresh = tmp_path / "fresh.hpt"
+        capture_corpus_entry(entry, fresh)
+        assert fresh.read_bytes() == corpus_path(entry).read_bytes()
+
+    def test_listing_reports_committed_sizes(self):
+        rows = {row["name"]: row for row in corpus_listing()}
+        assert rows["sieve_105k"]["insts"] == read_header(corpus_path("sieve_105k"))["insts"]
+        assert not rows["vector_sum_1m"].get("insts")
+
+    def test_resolve_prefers_corpus_names_and_errors_helpfully(self, tmp_path):
+        assert resolve_trace("sieve_105k") == corpus_path("sieve_105k")
+        with pytest.raises(TraceFormatError, match="corpus"):
+            resolve_trace("not_a_trace")
+        loose = tmp_path / "loose.hpt"
+        capture_kernel("fibonacci", loose)
+        assert resolve_trace(str(loose)) == loose
+
+
+class TestContentHashIdentity:
+    """Satellite: fingerprints key on file *content*, never path or mtime."""
+
+    def test_fingerprint_survives_copy_and_mtime(self, tmp_path):
+        source = tmp_path / "a" / "trace.hpt"
+        source.parent.mkdir()
+        capture_kernel("fibonacci", source)
+        copy = tmp_path / "b" / "renamed.hpt"
+        copy.parent.mkdir()
+        shutil.copy(source, copy)
+        copy.touch()  # fresh mtime
+        original = TraceFeed(source)
+        moved = TraceFeed(copy)
+        assert original.content_hash == moved.content_hash
+        assert trace_fingerprint(original.content_hash, FOUR_WIDE) == trace_fingerprint(
+            moved.content_hash, FOUR_WIDE
+        )
+
+    def test_different_content_changes_the_fingerprint(self, tmp_path):
+        whole = tmp_path / "whole.hpt"
+        short = tmp_path / "short.hpt"
+        capture_kernel("fibonacci", whole)
+        capture_kernel("fibonacci", short, limit=100)
+        a = TraceFeed(whole).content_hash
+        b = TraceFeed(short).content_hash
+        assert a != b
+        assert trace_fingerprint(a, FOUR_WIDE) != trace_fingerprint(b, FOUR_WIDE)
+
+    def test_sampling_plan_changes_the_fingerprint(self, tmp_path):
+        path = tmp_path / "t.hpt"
+        capture_kernel("fibonacci", path)
+        digest = TraceFeed(path).content_hash
+        base = sampled_fingerprint(digest, FOUR_WIDE)
+        assert base != sampled_fingerprint(digest, FOUR_WIDE, k=3)
+        assert base != sampled_fingerprint(digest, FOUR_WIDE, interval=5_000)
+        assert base != sampled_fingerprint(digest, FOUR_WIDE, warm_caches=False)
+        assert base != trace_fingerprint(digest, FOUR_WIDE)
+
+
+class TestCachedRuns:
+    def test_run_full_round_trips_through_the_store(self, tmp_path):
+        source = tmp_path / "t.hpt"
+        capture_kernel("vector_sum", source, n=400)
+        feed = TraceFeed(source)
+        cache = ResultCache(tmp_path / "cache")
+        first = run_full(feed, FOUR_WIDE, cache=cache)
+        hits_before = cache.hits
+        second = run_full(feed, FOUR_WIDE, cache=cache)
+        assert cache.hits == hits_before + 1
+        assert second.stats.cycles == first.stats.cycles
+        assert second.ipc == first.ipc
+
+    def test_cache_is_shared_across_paths(self, tmp_path):
+        source = tmp_path / "t.hpt"
+        capture_kernel("vector_sum", source, n=400)
+        copy = tmp_path / "elsewhere.hpt"
+        shutil.copy(source, copy)
+        cache = ResultCache(tmp_path / "cache")
+        run_full(TraceFeed(source), FOUR_WIDE, cache=cache)
+        hits_before = cache.hits
+        run_full(TraceFeed(copy), FOUR_WIDE, cache=cache)
+        assert cache.hits == hits_before + 1
+
+    def test_load_corpus_feed_limit(self):
+        feed = load_corpus_feed("vector_sum_80k", limit=500)
+        assert len(feed.ops) == 500

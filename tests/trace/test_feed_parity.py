@@ -1,0 +1,52 @@
+"""TraceFeed replay parity: live emulation and every installed backend."""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import serialize_result
+from repro.fastsim import apply_backend, available_backends, make_processor
+from repro.pipeline.config import FOUR_WIDE
+from repro.pipeline.processor import Processor
+from repro.trace.capture import capture_kernel
+from repro.trace.feed import TraceFeed
+from repro.workloads.feed import EmulatorFeed
+from repro.workloads.kernels import kernel_program
+
+
+@pytest.fixture(scope="module")
+def trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "strsearch.hpt"
+    capture_kernel("strsearch", path)
+    return TraceFeed(path)
+
+
+class TestReplayMatchesLive:
+    def test_replayed_stats_equal_live_emulation(self, trace):
+        live = Processor(
+            EmulatorFeed(kernel_program("strsearch"), name="strsearch"), FOUR_WIDE
+        ).run(max_insts=10**7)
+        replayed = Processor(trace, FOUR_WIDE).run(max_insts=len(trace.ops))
+        assert serialize_result(replayed) == serialize_result(live)
+
+
+class TestCrossBackendParity:
+    def test_serialized_stats_are_byte_identical(self, trace):
+        blobs = {}
+        for backend in available_backends():
+            config = apply_backend(FOUR_WIDE, backend)
+            processor = make_processor(trace, config, backend=backend)
+            result = processor.run(max_insts=len(trace.ops))
+            blobs[backend] = json.dumps(serialize_result(result), sort_keys=True)
+        reference = blobs["python"]
+        for backend, blob in blobs.items():
+            assert blob == reference, f"{backend} diverges from python"
+
+    def test_partial_run_parity(self, trace):
+        blobs = set()
+        for backend in available_backends():
+            config = apply_backend(FOUR_WIDE, backend)
+            processor = make_processor(trace, config, backend=backend)
+            result = processor.run(max_insts=3_000, warmup=1_000)
+            blobs.add(json.dumps(serialize_result(result), sort_keys=True))
+        assert len(blobs) == 1
