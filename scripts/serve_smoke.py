@@ -3,10 +3,11 @@
 
 Boots ``repro serve`` as a real subprocess, submits a 20-job sweep with
 overlapping specs, asserts that coalescing actually happened (coalesce-hit
-counter > 0, simulations <= distinct fingerprints), then SIGTERMs the
-server and asserts a clean drain.  The final metrics snapshot (queue
-depth, latency histogram, counters) lands in ``serve-smoke-artifacts/``
-for CI to upload.
+counter > 0, simulations <= distinct fingerprints) and that batched
+dispatch engaged (a ``serve.batch_size`` bucket > 1) with zero lost jobs,
+then SIGTERMs the server and asserts a clean drain.  The final metrics
+snapshot (queue depth, latency histogram, counters) lands in
+``serve-smoke-artifacts/`` for CI to upload.
 
 Run from the repository root:  PYTHONPATH=src python scripts/serve_smoke.py
 """
@@ -79,6 +80,14 @@ def main() -> None:
             fail("no coalesce hits on an overlapping sweep")
         if simulated > 5:
             fail(f"{simulated} simulations for 5 distinct configs")
+        # Batched dispatch must engage (all 5 primaries land in one POST
+        # before a worker wakes) and must not lose or fail a single job.
+        batches = metrics.get("serve.batch_size", {})
+        print(f"batch sizes drained: {batches}")
+        if not any(int(size) > 1 for size in batches):
+            fail(f"batched dispatch never engaged: serve.batch_size={batches}")
+        if metrics.get("serve.failed", 0):
+            fail(f"{metrics['serve.failed']} job(s) failed during the sweep")
 
         process.send_signal(signal.SIGTERM)
         try:

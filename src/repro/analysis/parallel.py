@@ -1,8 +1,10 @@
 """Parallel experiment execution engine.
 
 Independent simulation jobs — one ``(benchmark, config, seed, run-length,
-shadow)`` tuple each — fan out over a :class:`concurrent.futures.
-ProcessPoolExecutor`.  Results come back **in submission order** regardless
+shadow)`` tuple each — fan out over the persistent warm worker pool
+(:mod:`repro.analysis.pool`), falling back to a per-call
+:class:`concurrent.futures.ProcessPoolExecutor` when the pool is disabled
+via ``REPRO_POOL=0``.  Results come back **in submission order** regardless
 of which worker finishes first, so anything aggregated from them is
 byte-identical to a serial run; each job is itself deterministic (seeded
 synthetic workloads, no shared state between jobs).
@@ -83,15 +85,25 @@ def execute_job(job: Job) -> SimulationResult:
 def run_jobs(jobs: list[Job], workers: int | None = None) -> list[SimulationResult]:
     """Execute *jobs*, returning results in the same order as *jobs*.
 
-    ``workers=None`` resolves via :func:`default_jobs`.  The executor's
-    ``map`` preserves submission order, so the output is position-for-
-    position deterministic no matter how the pool schedules the work.
+    ``workers=None`` resolves via :func:`default_jobs`.  Submission order
+    is preserved no matter how the pool schedules the work, and a job
+    that raises re-raises the *first* (submission-order) failure here.
+
+    Multi-job dispatches ride the process-wide warm pool — workers stay
+    alive between calls with modules imported and configs memoized, so
+    repeat fan-outs skip the ~100 ms spin-up cost.  ``REPRO_POOL=0``
+    restores the legacy per-call executor.
     """
     if not jobs:
         return []
     count = workers if workers is not None else default_jobs()
     if count <= 1 or len(jobs) == 1:
         return [execute_job(job) for job in jobs]
+    # Deferred import: the pool module imports Job/env_int from here.
+    from repro.analysis.pool import get_pool, pool_enabled
+
+    if pool_enabled():
+        return get_pool(workers=count).run(jobs)
     max_workers = min(count, len(jobs))
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(execute_job, jobs))

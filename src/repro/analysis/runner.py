@@ -239,7 +239,13 @@ class ExperimentRunner:
             pending.append(
                 (key, Job(benchmark, config, seed, self.insts, self.warmup, shadow_sizes))
             )
+        self.metrics.counter("runner.prefetch_warm_hits").inc(
+            len(requests) - len(pending)
+        )
         if not pending:
+            # Fully-warm sweep: every request was a memo or disk hit, so
+            # we never reach run_jobs and the worker pool is never even
+            # created (it starts lazily on first dispatch).
             return 0
         workers = workers if workers is not None else self.jobs
         results = run_jobs([job for _, job in pending], workers=workers)

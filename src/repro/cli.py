@@ -185,7 +185,29 @@ def _cmd_prefetch(args) -> int:
     print(f"cache dir: {runner.cache.directory}")
     print(f"simulated: {executed}")
     print(f"served from disk: {runner.cache.hits}")
+    _print_pool_summary()
     return 0
+
+
+def _print_pool_summary() -> None:
+    """One line of warm-pool stats, if a fan-out actually started one."""
+    from repro.analysis.pool import maybe_pool
+
+    pool = maybe_pool()
+    if pool is None:
+        return
+    metrics = pool.registry.as_dict()
+    dispatches = metrics.get("pool.dispatches", 0)
+    if not dispatches:
+        return
+    chunks = metrics.get("pool.chunks_sent", 0)
+    jobs = metrics.get("pool.jobs_dispatched", 0)
+    print(
+        f"pool: {jobs} job(s) over {dispatches} dispatch(es) in {chunks} "
+        f"chunk(s), {metrics.get('pool.worker_starts', 0)} worker start(s), "
+        f"{metrics.get('pool.worker_reuse_hits', 0)} warm reuse(s), "
+        f"{metrics.get('pool.crash_replacements', 0)} crash replacement(s)"
+    )
 
 
 def _cmd_export_stats(args) -> int:
@@ -563,6 +585,7 @@ def _cmd_serve(args) -> int:
         spool=args.spool,
         executor=JobExecutor(cache=cache),
         name=args.name,
+        batch=args.batch,
     )
     role = "worker" if args.worker else "serving"
 
@@ -982,6 +1005,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--queue-size", type=int, default=256, metavar="N",
         help="queued-job bound before 429 backpressure (default 256)",
+    )
+    serve_parser.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="max queued jobs one worker drains into a single batched "
+        "execution (default REPRO_POOL_BATCH, else 8)",
     )
     serve_parser.add_argument(
         "--spool", default=None, metavar="DIR",

@@ -36,15 +36,16 @@ from repro.serve.protocol import JobSpec, RunSpec, TraceSpec, VerifySpec
 class JobExecutor:
     """Executes job specs; safe to call from multiple worker threads."""
 
-    def __init__(self, cache: ResultCache | None | bool = True, jobs: int = 1):
+    def __init__(self, cache: ResultCache | None | bool = True, jobs: int | None = None):
         if cache is True:
             self.cache: ResultCache | None = ResultCache.from_env()
         elif cache is False:
             self.cache = None
         else:
             self.cache = cache
-        #: worker processes each runner may use for bulk work (prefetch);
-        #: served jobs are single simulations, so the default is inline.
+        #: worker processes each runner may use for bulk work — batched
+        #: executions prefetch their cache misses through the warm pool.
+        #: None resolves via REPRO_JOBS / CPU count at dispatch time.
         self.jobs = jobs
         self._runners: dict[tuple[int, int], ExperimentRunner] = {}
         #: decoded trace feeds, memoized by content hash
@@ -84,6 +85,45 @@ class JobExecutor:
         if isinstance(spec, TraceSpec):
             return self._execute_trace(spec)
         raise TypeError(f"unknown spec type {type(spec).__name__}")  # pragma: no cover
+
+    def execute_batch(self, specs: list[JobSpec]) -> list[dict | Exception]:
+        """Run a batch of specs, isolating failures per spec.
+
+        Returns one entry per spec, in order: the result document on
+        success, or the exception that spec raised (so a server worker
+        can settle each job individually — one bad spec never poisons
+        its batchmates).
+
+        Run-kind specs sharing a run-length pair are bulk-resolved first
+        via :meth:`~repro.analysis.runner.ExperimentRunner.prefetch`, so
+        their cache misses fan out together over the warm worker pool
+        and the per-spec ``execute`` calls below are pure memo lookups
+        plus document builds.  Cache hits never reach the pool.
+        """
+        groups: dict[tuple[int, int], list[RunSpec]] = {}
+        for spec in specs:
+            if isinstance(spec, RunSpec):
+                groups.setdefault((spec.insts, spec.warmup), []).append(spec)
+        for (insts, warmup), members in groups.items():
+            requests = []
+            for spec in members:
+                try:
+                    requests.append(
+                        (spec.benchmark, apply_backend(spec.config()), spec.seed, spec.shadow)
+                    )
+                except Exception:  # noqa: BLE001 - surfaced per-spec below
+                    pass
+            try:
+                self.runner_for(insts, warmup).prefetch(requests)
+            except Exception:  # noqa: BLE001 - surfaced per-spec below
+                pass
+        outcomes: list[dict | Exception] = []
+        for spec in specs:
+            try:
+                outcomes.append(self.execute(spec))
+            except Exception as error:  # noqa: BLE001 - settled per job
+                outcomes.append(error)
+        return outcomes
 
     def _execute_run(self, spec: RunSpec) -> dict:
         runner = self.runner_for(spec.insts, spec.warmup)

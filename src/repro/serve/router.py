@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from urllib.parse import urlsplit
 
+from repro.analysis.parallel import env_int
 from repro.obs.registry import MetricsRegistry
 from repro.serve.jobs import Job, JobTable, SpoolJournal
 from repro.serve.protocol import (
@@ -183,6 +184,11 @@ class RouterServer:
         self._drained = asyncio.Event()
         self._server: asyncio.base_events.Server | None = None
         self._dispatchers: set[asyncio.Task] = set()
+        #: batched dispatch: per-worker buffers of (job, future) waiting
+        #: to ride one POST, and the workers with an active flusher.
+        self._dispatch_buffers: dict[str, list] = {}
+        self._flushing: set[str] = set()
+        self.dispatch_batch = max(1, env_int("REPRO_POOL_BATCH", 8))
         self._health_task: asyncio.Task | None = None
         self._started_at = time.time()
         self.recovered = 0
@@ -359,6 +365,66 @@ class RouterServer:
             if self.journal is not None:
                 self.journal.record_done(done_job)
 
+    async def _send_dispatch(self, worker: WorkerHandle, job: Job) -> tuple[int, dict]:
+        """Enqueue *job* for batched POSTing to *worker*.
+
+        Dispatch tasks that place jobs on the same worker in the same
+        event-loop tick share one ``POST /v1/jobs`` round-trip (the
+        protocol's batch envelope carries all their specs + ids), so a
+        1000-job sweep costs tens of worker requests instead of 1000.
+        Returns this job's view of the shared response, or raises the
+        shared transport error.
+        """
+        future = asyncio.get_running_loop().create_future()
+        self._dispatch_buffers.setdefault(worker.url, []).append((job, future))
+        if worker.url not in self._flushing:
+            self._flushing.add(worker.url)
+            task = asyncio.get_running_loop().create_task(
+                self._flush_dispatches(worker), name=f"dispatch-flush-{worker.url}"
+            )
+            self._dispatchers.add(task)
+            task.add_done_callback(self._dispatchers.discard)
+        return await future
+
+    async def _flush_dispatches(self, worker: WorkerHandle) -> None:
+        try:
+            await asyncio.sleep(0)  # let same-tick dispatchers pile on
+            while True:
+                buffer = self._dispatch_buffers.get(worker.url) or []
+                if not buffer:
+                    return
+                entries = buffer[: self.dispatch_batch]
+                del buffer[: len(entries)]
+                self.registry.histogram("router.dispatch_batch_size").observe(
+                    len(entries)
+                )
+                try:
+                    status, document = await _worker_request(
+                        worker.url,
+                        "POST",
+                        "/v1/jobs",
+                        {
+                            "jobs": [job.spec.as_wire() for job, _ in entries],
+                            "ids": [job.id for job, _ in entries],
+                        },
+                        timeout=10.0,
+                    )
+                except (
+                    OSError,
+                    asyncio.TimeoutError,
+                    ValueError,
+                    ConnectionError,
+                ) as error:
+                    for _, future in entries:
+                        if not future.done():
+                            future.set_exception(error)
+                    continue
+                for _, future in entries:
+                    if not future.done():
+                        future.set_result((status, document))
+        finally:
+            self._flushing.discard(worker.url)
+
     async def _dispatch_and_watch(self, job: Job) -> None:
         """Place one primary on a worker and follow it to a terminal state.
 
@@ -381,13 +447,7 @@ class RouterServer:
             if stolen:
                 self.registry.counter("router.steals").inc()
             try:
-                status, document = await _worker_request(
-                    worker.url,
-                    "POST",
-                    "/v1/jobs",
-                    {"jobs": [job.spec.as_wire()], "ids": [job.id]},
-                    timeout=10.0,
-                )
+                status, document = await self._send_dispatch(worker, job)
             except (OSError, asyncio.TimeoutError, ValueError, ConnectionError):
                 worker.consecutive_failures += 1
                 self.registry.counter("router.dispatch_errors").inc()

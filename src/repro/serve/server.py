@@ -49,6 +49,13 @@ DEFAULT_PORT = 8765
 DEFAULT_WORKERS = 2
 DEFAULT_QUEUE_SIZE = 256
 
+
+def _default_batch() -> int:
+    """Max queued jobs one worker drains into a single batched execution."""
+    from repro.analysis.parallel import env_int
+
+    return max(1, env_int("REPRO_POOL_BATCH", 8))
+
 #: Long-poll waits are capped so a drain is never held hostage.
 MAX_LONGPOLL_S = 30.0
 _LONGPOLL_SLICE_S = 0.25
@@ -147,6 +154,7 @@ class ServeServer:
         executor: JobExecutor | None = None,
         registry: MetricsRegistry | None = None,
         name: str | None = None,
+        batch: int | None = None,
     ):
         self.host = host
         self.port = port
@@ -154,6 +162,9 @@ class ServeServer:
         self.name = name
         self.workers = workers
         self.queue_size = queue_size
+        #: batched dispatch: a worker that wakes up drains up to this many
+        #: queued jobs and executes them as one batch (REPRO_POOL_BATCH).
+        self.batch = batch if batch is not None else _default_batch()
         self.executor = executor if executor is not None else JobExecutor()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.table = JobTable()
@@ -265,27 +276,59 @@ class ServeServer:
             if lane < 0:  # shutdown sentinel
                 return
             self._queued_primaries -= 1
-            if job.terminal:  # cancelled while queued
-                continue
-            await self._execute(job)
+            batch = [] if job.terminal else [job]
+            # Batched dispatch: drain whatever else is already queued (up
+            # to the batch cap) so one execution — and one warm-pool
+            # fan-out — amortizes over every job that was waiting.
+            while len(batch) < self.batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra[0] < 0:
+                    # A drain sentinel outranks jobs, so it can only show
+                    # up here mid-drain: leave it for the next loop turn.
+                    self._queue.put_nowait(extra)
+                    break
+                self._queued_primaries -= 1
+                if not extra[3].terminal:
+                    batch.append(extra[3])
+            if batch:
+                await self._execute_batch(batch)
 
-    async def _execute(self, job: Job) -> None:
-        self.table.mark_running(job)
+    async def _execute_batch(self, jobs: list[Job]) -> None:
+        for job in jobs:
+            self.table.mark_running(job)
         started = time.perf_counter()
         try:
-            result = await asyncio.to_thread(self.executor.execute, job.spec)
-            settled = self.table.finish(job, result=result)
-            self.registry.counter("serve.completed").inc(len(settled))
+            outcomes = await asyncio.to_thread(
+                self.executor.execute_batch, [job.spec for job in jobs]
+            )
         except Exception as error:  # noqa: BLE001 - jobs must never kill a worker
-            settled = self.table.finish(job, error=f"{type(error).__name__}: {error}")
-            self.registry.counter("serve.failed").inc(len(settled))
+            # execute_batch isolates per-spec failures; reaching this
+            # means the batch machinery itself broke — fail every member.
+            outcomes = [error] * len(jobs)
         elapsed = time.perf_counter() - started
-        self.registry.timer("serve.exec_seconds").add(elapsed)
-        for done_job in settled:
-            latency_ms = int((done_job.finished_at - done_job.submitted_at) * 1000)
-            self.registry.histogram("serve.job_latency_ms").observe(latency_ms)
-            if self.journal is not None:
-                self.journal.record_done(done_job)
+        # One timer sample per job keeps the Retry-After estimate (mean
+        # seconds per job) honest under batching.
+        self.registry.timer("serve.exec_seconds").add(elapsed, calls=len(jobs))
+        self.registry.histogram("serve.batch_size").observe(len(jobs))
+        if len(jobs) > 1:
+            self.registry.counter("serve.batched_jobs").inc(len(jobs))
+        for job, outcome in zip(jobs, outcomes):
+            if isinstance(outcome, Exception):
+                settled = self.table.finish(
+                    job, error=f"{type(outcome).__name__}: {outcome}"
+                )
+                self.registry.counter("serve.failed").inc(len(settled))
+            else:
+                settled = self.table.finish(job, result=outcome)
+                self.registry.counter("serve.completed").inc(len(settled))
+            for done_job in settled:
+                latency_ms = int((done_job.finished_at - done_job.submitted_at) * 1000)
+                self.registry.histogram("serve.job_latency_ms").observe(latency_ms)
+                if self.journal is not None:
+                    self.journal.record_done(done_job)
 
     # ------------------------------------------------------------------
     # HTTP layer
@@ -483,6 +526,14 @@ class ServeServer:
                         break
         self.registry.counter("serve.queue_depth").set(self._queued_primaries)
         self.registry.counter("serve.simulated").set(self.executor.simulated())
+        metrics = self.registry.as_dict()
+        # Surface the warm worker pool's counters (pool.* names) next to
+        # the server's own — but never create the pool just to report.
+        from repro.analysis.pool import maybe_pool
+
+        pool = maybe_pool()
+        if pool is not None:
+            metrics.update(pool.registry.as_dict())
         return {
             "protocol_version": PROTOCOL_VERSION,
             "serve": {
@@ -490,11 +541,12 @@ class ServeServer:
                 "queue_depth": self._queued_primaries,
                 "queue_size": self.queue_size,
                 "workers": self.workers,
+                "batch": self.batch,
                 "jobs_total": len(self.table.jobs),
                 "uptime_s": round(time.time() - self._started_at, 3),
                 "latency_ms": quantiles,
             },
-            "metrics": self.registry.as_dict(),
+            "metrics": metrics,
         }
 
 
